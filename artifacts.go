@@ -1,0 +1,62 @@
+package canvassing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"canvassing/internal/imaging"
+)
+
+// DumpSampleCanvases writes example canvases from the control crawl to
+// dir as PNG files — the Figure 2 / Appendix A.2 artifact: a handful of
+// fingerprintable test canvases and one example per exclusion reason.
+// It returns the file names written.
+func (s *Study) DumpSampleCanvases(dir string, perKind int) ([]string, error) {
+	if perKind <= 0 {
+		perKind = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("canvassing: %w", err)
+	}
+	written := []string{}
+	counts := map[string]int{}
+	for i := range s.Sites {
+		st := &s.Sites[i]
+		if !st.OK {
+			continue
+		}
+		for _, c := range st.All {
+			kind := "fingerprintable"
+			if !c.Fingerprintable {
+				kind = string(c.Exclude)
+			}
+			if counts[kind] >= perKind {
+				continue
+			}
+			format, payload, err := imaging.ParseDataURL(c.DataURL)
+			if err != nil {
+				continue
+			}
+			ext := "png"
+			switch format {
+			case imaging.JPEG:
+				ext = "jpg"
+			case imaging.WebP:
+				ext = "webp"
+			}
+			name := fmt.Sprintf("%s-%02d-%s-%dx%d.%s",
+				kind, counts[kind], st.Domain, c.W, c.H, ext)
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, payload, 0o644); err != nil {
+				return written, fmt.Errorf("canvassing: %w", err)
+			}
+			counts[kind]++
+			written = append(written, name)
+		}
+	}
+	if len(written) == 0 {
+		return nil, fmt.Errorf("canvassing: no canvases to dump (run the control crawl first)")
+	}
+	return written, nil
+}

@@ -1,0 +1,307 @@
+package canvassing
+
+// Benchmark harness: one benchmark per table and figure of the paper
+// (E1–E12), plus ablation benches for the design choices DESIGN.md calls
+// out. Analysis benches share a single pre-built study so they measure
+// the experiment computation, not the crawl; the crawl itself is
+// measured by BenchmarkControlCrawl and the ablations.
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+
+	"canvassing/internal/blocklist"
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/imaging"
+	"canvassing/internal/stats"
+	"canvassing/internal/web"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+)
+
+// benchSetup builds one shared study at 2% scale (400+400 sites).
+func benchSetup(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy = Run(Options{Seed: 3, Scale: 0.02, WithAdblock: true, WithM1: true})
+	})
+	return benchStudy
+}
+
+func BenchmarkE1Prevalence(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var fp int
+	for i := 0; i < b.N; i++ {
+		r := s.Prevalence()
+		fp = r.Rows[0].FPSites
+	}
+	b.ReportMetric(float64(fp), "fp-sites")
+}
+
+func BenchmarkE2Figure1(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		r := s.Figure1(50)
+		rows = len(r.Rows)
+	}
+	b.ReportMetric(float64(rows), "canvas-groups")
+}
+
+func BenchmarkE3Reach(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var unique int
+	for i := 0; i < b.N; i++ {
+		r := s.Reach()
+		unique = r.UniquePopular
+	}
+	b.ReportMetric(float64(unique), "unique-canvases")
+}
+
+func BenchmarkE4Table1(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var attributed int
+	for i := 0; i < b.N; i++ {
+		r := s.Table1()
+		attributed = r.AttributedPop
+	}
+	b.ReportMetric(float64(attributed), "attributed-sites")
+}
+
+func BenchmarkE5Table2(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var blocked int
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocked = r.Rows[0].CanvasesPop - r.Rows[1].CanvasesPop
+	}
+	b.ReportMetric(float64(blocked), "canvases-blocked")
+}
+
+func BenchmarkE6Table4(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var any int
+	for i := 0; i < b.N; i++ {
+		r := s.Table4()
+		any = r.Counts["Any"][0]
+	}
+	b.ReportMetric(float64(any), "any-list-canvases")
+}
+
+func BenchmarkE7Evasion(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var firstParty int
+	for i := 0; i < b.N; i++ {
+		r := s.Evasion()
+		firstParty = r.Rows[0].FirstPartySites
+	}
+	b.ReportMetric(float64(firstParty), "first-party-sites")
+}
+
+func BenchmarkE8Randomization(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var checking int
+	for i := 0; i < b.N; i++ {
+		// Sample size 5 keeps the defense re-crawls proportionate for a
+		// benchmark loop.
+		r := s.Randomization(5)
+		checking = r.CheckingPop
+	}
+	b.ReportMetric(float64(checking), "checking-sites")
+}
+
+func BenchmarkE9CrossMachine(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var diff int
+	for i := 0; i < b.N; i++ {
+		r, err := s.CrossMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		diff = r.BytesDifferEvents
+	}
+	b.ReportMetric(float64(diff), "byte-diff-events")
+}
+
+func BenchmarkE10Filters(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var yield float64
+	for i := 0; i < b.N; i++ {
+		r := s.Filters()
+		st := r.PerCohort[web.Popular]
+		yield = st.FingerprintableFraction()
+	}
+	b.ReportMetric(yield*100, "yield-pct")
+}
+
+func BenchmarkE11Table3(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table3()
+	}
+}
+
+func BenchmarkE12RuleContext(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var rules int
+	for i := 0; i < b.N; i++ {
+		r := s.RuleContext()
+		rules = r.DocumentOnlyRules
+	}
+	b.ReportMetric(float64(rules), "document-rules")
+}
+
+// --- end-to-end and ablation benches ---------------------------------------
+
+// BenchmarkControlCrawl measures a full control crawl of a 1% web.
+func BenchmarkControlCrawl(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	cfg := crawler.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crawler.Crawl(w, sites, cfg)
+	}
+}
+
+// BenchmarkAblationParseCache compares crawling with and without the
+// shared script parse cache.
+func BenchmarkAblationParseCache(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	for _, disabled := range []bool{false, true} {
+		name := "cached"
+		if disabled {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := crawler.DefaultConfig()
+			cfg.DisableParseCache = disabled
+			for i := 0; i < b.N; i++ {
+				crawler.Crawl(w, sites, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRenderCache compares crawling with and without the
+// content-addressed toDataURL encode cache.
+func BenchmarkAblationRenderCache(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	cfg := crawler.DefaultConfig()
+	for _, enabled := range []bool{true, false} {
+		name := "cached"
+		if !enabled {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := imaging.SetEncodeCacheEnabled(enabled)
+			defer imaging.SetEncodeCacheEnabled(prev)
+			for i := 0; i < b.N; i++ {
+				crawler.Crawl(w, sites, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCrawlWorkers sweeps the crawler worker-pool width.
+func BenchmarkAblationCrawlWorkers(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "w1", 4: "w4", 16: "w16"}[workers], func(b *testing.B) {
+			cfg := crawler.DefaultConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				crawler.Crawl(w, sites, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashing compares the canvas identity function used by
+// clustering: SHA-256 over the data URL (collision-proof, what we ship)
+// vs 64-bit FNV-1a (faster, collision risk at web scale).
+func BenchmarkAblationHashing(b *testing.B) {
+	s := benchSetup(b)
+	var urls []string
+	for i := range s.Sites {
+		for _, c := range s.Sites[i].All {
+			urls = append(urls, c.DataURL)
+		}
+	}
+	if len(urls) == 0 {
+		b.Fatal("no canvases")
+	}
+	b.Run("sha256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, u := range urls {
+				_ = sha256.Sum256([]byte(u))
+			}
+		}
+	})
+	b.Run("fnv64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, u := range urls {
+				_ = stats.HashString(u)
+			}
+		}
+	})
+	b.Run("sha256-via-detect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, u := range urls {
+				_ = detect.HashDataURL(u)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlocklistScan measures full-list matching for a hit
+// near the front, a hit after the filler rules, and a complete miss —
+// the cost profile that would motivate a compiled matcher.
+func BenchmarkAblationBlocklistScan(b *testing.B) {
+	lists := blocklist.NewStandardListsWithTrackers(3, longtailTrackerCoverage())
+	reqs := map[string]blocklist.Request{
+		"early-hit": {URL: "https://bank.com/akam/13/abc", Type: blocklist.TypeScript, ThirdParty: true},
+		"late-hit":  {URL: "https://" + web.ActorHost(7) + "/beacon.js", Type: blocklist.TypeScript, ThirdParty: true},
+		"miss":      {URL: "https://plain-site.example/js/app.js", Type: blocklist.TypeScript, ThirdParty: true},
+	}
+	for name, req := range reqs {
+		req := req
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lists.EasyList.Match(req)
+				lists.EasyPrivacy.Match(req)
+			}
+		})
+	}
+}
+
+// BenchmarkFullStudyTiny measures the entire pipeline end to end on the
+// smallest meaningful web.
+func BenchmarkFullStudyTiny(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Run(Options{Seed: uint64(i) + 1, Scale: 0.005})
+	}
+}

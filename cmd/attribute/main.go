@@ -1,0 +1,24 @@
+// Command attribute runs the full pipeline for a seed and prints the
+// vendor-attribution results: Table 1 (per-vendor reach), Table 3
+// (attribution methods) and the FingerprintJS tier breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"canvassing"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "study seed")
+	scale := flag.Float64("scale", 0.05, "web scale")
+	workers := flag.Int("workers", 8, "crawler workers")
+	flag.Parse()
+
+	s := canvassing.Run(canvassing.Options{
+		Seed: *seed, Scale: *scale, Workers: *workers,
+	})
+	fmt.Println(s.Table1().Render())
+	fmt.Println(s.Table3().Render())
+}

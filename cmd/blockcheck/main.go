@@ -1,0 +1,34 @@
+// Command blockcheck runs the blocklist analyses: Table 4 (list coverage
+// of test canvases), Table 2 (the ad-blocker re-crawls), the serving-mode
+// evasion breakdown, and the A.6 rule-context demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"canvassing"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "study seed")
+	scale := flag.Float64("scale", 0.05, "web scale")
+	workers := flag.Int("workers", 8, "crawler workers")
+	skipAdblock := flag.Bool("skip-adblock", false, "skip the two ad-blocker re-crawls (faster)")
+	flag.Parse()
+
+	s := canvassing.Run(canvassing.Options{
+		Seed: *seed, Scale: *scale, Workers: *workers, WithAdblock: !*skipAdblock,
+	})
+	fmt.Println(s.Table4().Render())
+	if !*skipAdblock {
+		t2, err := s.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t2.Render())
+	}
+	fmt.Println(s.Evasion().Render())
+	fmt.Println(s.RuleContext().Render())
+}

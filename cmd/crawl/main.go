@@ -1,0 +1,93 @@
+// Command crawl runs the instrumented crawler over a synthetic web and
+// writes one JSON object per visited page to stdout or a file — the
+// equivalent of the paper's Tracker Radar Collector output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"canvassing/internal/adblock"
+	"canvassing/internal/blocklist"
+	"canvassing/internal/crawler"
+	"canvassing/internal/machine"
+	"canvassing/internal/web"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generation seed")
+	scale := flag.Float64("scale", 0.05, "web scale")
+	cohort := flag.String("cohort", "both", "popular, tail, or both")
+	machineName := flag.String("machine", "intel", "intel or m1")
+	blocker := flag.String("adblock", "none", "none, abp, or ubo")
+	workers := flag.Int("workers", 8, "crawler worker pool width")
+	out := flag.String("out", "", "output JSONL path (default stdout)")
+	flag.Parse()
+
+	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
+
+	var sites []*web.Site
+	switch *cohort {
+	case "popular":
+		sites = w.CohortSites(web.Popular)
+	case "tail":
+		sites = w.CohortSites(web.Tail)
+	case "both":
+		sites = append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	default:
+		log.Fatalf("unknown cohort %q", *cohort)
+	}
+
+	cfg := crawler.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	switch *machineName {
+	case "intel":
+		cfg.Profile = machine.Intel()
+	case "m1":
+		cfg.Profile = machine.AppleM1()
+	default:
+		log.Fatalf("unknown machine %q", *machineName)
+	}
+	lists := blocklist.NewStandardLists(*seed)
+	switch *blocker {
+	case "none":
+	case "abp":
+		cfg.Extension = adblock.NewAdblockPlus(lists)
+	case "ubo":
+		cfg.Extension = adblock.NewUBlockOrigin(lists)
+	default:
+		log.Fatalf("unknown adblock %q", *blocker)
+	}
+
+	res := crawler.Crawl(w, sites, cfg)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	bw := bufio.NewWriter(dst)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	pages, extractions := 0, 0
+	for _, p := range res.Pages {
+		if err := enc.Encode(p); err != nil {
+			log.Fatal(err)
+		}
+		if p.OK {
+			pages++
+			extractions += len(p.Extractions)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "crawled %d pages ok (%d visited), %d extractions, machine=%s adblock=%s\n",
+		pages, len(res.Pages), extractions, res.Machine, *blocker)
+}

@@ -1,0 +1,110 @@
+// Command repro regenerates every table and figure of the paper: it runs
+// the full study (control crawl, ad-blocker re-crawls, M1 validation
+// crawl, all analyses) and prints the experiment suite plus the
+// paper-vs-measured ledger. Single experiments can be selected with -exp.
+//
+// The paper-scale run is -scale 1 (20k popular + 20k tail sites); the
+// default 0.1 finishes in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"canvassing"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "study seed")
+	scale := flag.Float64("scale", 0.1, "web scale (1.0 = paper scale)")
+	workers := flag.Int("workers", 8, "crawler workers")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner), 'all', or 'compare'")
+	out := flag.String("out", "", "also write the report to this file")
+	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
+	flag.Parse()
+
+	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
+	// the control crawl plus the inner-page re-crawl.
+	switch e := strings.ToLower(*exp); e {
+	case "entropy", "ex1":
+		emit(canvassing.EntropyAnalysis(48, *seed).Render(), *out)
+		return
+	case "inner", "ex2":
+		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers})
+		emit(s.InnerPages().Render(), *out)
+		return
+	}
+
+	s := canvassing.Run(canvassing.Options{
+		Seed:        *seed,
+		Scale:       *scale,
+		Workers:     *workers,
+		WithAdblock: true,
+		WithM1:      true,
+	})
+
+	var text string
+	switch strings.ToLower(*exp) {
+	case "all":
+		text = s.RenderAll() + "\n" + s.PaperComparison()
+	case "compare":
+		text = s.PaperComparison()
+	case "e1":
+		text = s.Prevalence().Render()
+	case "e2":
+		text = s.Figure1(50).Render()
+	case "e3":
+		text = s.Reach().Render()
+	case "e4":
+		text = s.Table1().Render()
+	case "e5":
+		t2, err := s.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = t2.Render()
+	case "e6":
+		text = s.Table4().Render()
+	case "e7":
+		text = s.Evasion().Render()
+	case "e8":
+		text = s.Randomization(40).Render()
+	case "e9":
+		cm, err := s.CrossMachine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = cm.Render()
+	case "e10":
+		text = s.Filters().Render()
+	case "e11":
+		text = s.Table3().Render()
+	case "e12":
+		text = s.RuleContext().Render()
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	emit(text, *out)
+
+	if *dumpDir != "" {
+		files, err := s.DumpSampleCanvases(*dumpDir, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d sample canvases to %s\n", len(files), *dumpDir)
+	}
+}
+
+// emit prints the report and optionally writes it to a file.
+func emit(text, out string) {
+	fmt.Println(text)
+	if out != "" {
+		if err := os.WriteFile(out, []byte(text+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Adblockgap reproduces §5.2's finding: although nearly half of
+// fingerprinting scripts are on crowdsourced blocklists, installing an ad
+// blocker barely reduces the canvases a crawl observes — first-party
+// serving, CDN fronting, CNAME cloaking and mis-scoped rules bridge the
+// gap. The example prints coverage (Table 4), the re-crawl deltas
+// (Table 2), the serving-mode breakdown, and the mgid rule case study.
+//
+//	go run ./examples/adblockgap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"canvassing"
+)
+
+func main() {
+	study := canvassing.Run(canvassing.Options{
+		Seed:        11,
+		Scale:       0.05,
+		WithAdblock: true,
+	})
+
+	fmt.Println(study.Table4().Render())
+
+	t2, err := study.Table2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2.Render())
+
+	control, abp := t2.Rows[0], t2.Rows[1]
+	covered := study.Table4()
+	fmt.Printf("the gap: %s of popular test canvases are on some list, but Adblock Plus removes only %s\n\n",
+		pct(covered.Counts["Any"][0], covered.Totals[0]),
+		pct(control.CanvasesPop-abp.CanvasesPop, control.CanvasesPop))
+
+	fmt.Println(study.Evasion().Render())
+	fmt.Println(study.RuleContext().Render())
+}
+
+func pct(n, d int) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(d))
+}

@@ -1,0 +1,76 @@
+// Defensecheck demonstrates §5.3 / Algorithm 1 at the canvas level: it
+// runs a real FingerprintJS-style script inside the embedded JS VM
+// against three browser configurations — no defense, per-render
+// randomization, and per-session (Firefox-style) randomization — and
+// shows which configuration the fingerprinter's double-render check can
+// detect.
+//
+//	go run ./examples/defensecheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"canvassing/internal/dom"
+	"canvassing/internal/jsvm"
+	"canvassing/internal/machine"
+	"canvassing/internal/randomize"
+	"canvassing/internal/services"
+)
+
+func main() {
+	script := services.BySlug("fingerprintjs").Source(services.ScriptParams{SiteDomain: "demo.local"})
+
+	type result struct {
+		name     string
+		hook     func() *randomize.Defense
+		detected bool
+		visitor  float64
+	}
+	configs := []result{
+		{name: "no defense", hook: nil},
+		{name: "per-render noise (extension-style)", hook: func() *randomize.Defense {
+			return randomize.NewDefense(randomize.PerRender, 99)
+		}},
+		{name: "per-session noise (Firefox-style)", hook: func() *randomize.Defense {
+			return randomize.NewDefense(randomize.PerSession, 99)
+		}},
+	}
+
+	for i := range configs {
+		c := &configs[i]
+		in := jsvm.New(jsvm.Options{RandSeed: 1})
+		doc := dom.NewDocument(machine.Intel(), "demo.local")
+		if c.hook != nil {
+			doc.ExtractHook = c.hook().Hook()
+		}
+		doc.Install(in)
+		if _, err := in.RunSource(script); err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		// The script stores 0 into its text-canvas signal when its own
+		// Algorithm-1 check finds inconsistent renders.
+		v, err := in.RunSource("window.__fpjs_visitor")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.visitor = v.Num()
+		sig, err := in.RunSource("__fpjsTextSignal")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.detected = sig.Num() == 0
+	}
+
+	fmt.Println("FingerprintJS-style script vs canvas randomization (Algorithm 1):")
+	for _, c := range configs {
+		verdict := "canvas accepted into the fingerprint"
+		if c.detected {
+			verdict = "randomization DETECTED — canvas component discarded"
+		}
+		fmt.Printf("  %-38s visitor-id=%.0f  %s\n", c.name, c.visitor, verdict)
+	}
+	fmt.Println("\nper-session noise still poisons the fingerprint, but the script cannot tell")
+	fmt.Println("(footnote 7: the check only works when each rendering gets fresh noise).")
+}

@@ -1,0 +1,100 @@
+// Vendorhunt demonstrates the paper's core trick — "fingerprinting the
+// fingerprinters": crawl a vendor's public demo page, record its test
+// canvases, and then find every crawled site that renders byte-identical
+// canvases. The canvas itself is the vendor's signature.
+//
+//	go run ./examples/vendorhunt -vendor fingerprintjs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"canvassing"
+	"canvassing/internal/web"
+)
+
+func main() {
+	vendor := flag.String("vendor", "fingerprintjs", "vendor slug to hunt (see Table 1)")
+	scale := flag.Float64("scale", 0.05, "web scale")
+	flag.Parse()
+
+	study := canvassing.Run(canvassing.Options{Seed: 7, Scale: *scale})
+
+	hashes := study.GroundTruth.Hashes[*vendor]
+	if len(hashes) == 0 {
+		log.Fatalf("no ground-truth canvases for %q — it may have no demo/customer at this scale", *vendor)
+	}
+	fmt.Printf("vendor %s has %d distinct test canvases (from its demo/customer crawl)\n\n",
+		*vendor, len(hashes))
+
+	// Walk the clustering: every group whose hash is in the vendor's set
+	// is that vendor's footprint, regardless of what URL served it.
+	type hit struct {
+		domain string
+		cohort web.Cohort
+		script string
+	}
+	var hits []hit
+	seen := map[string]bool{}
+	for _, g := range study.Clustering.Groups {
+		if !hashes[g.Hash] {
+			continue
+		}
+		for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
+			for _, domain := range g.Sites[cohort] {
+				if seen[domain] {
+					continue
+				}
+				seen[domain] = true
+				script := "(unknown)"
+				if len(g.ScriptURLs) > 0 {
+					script = g.ScriptURLs[0]
+				}
+				hits = append(hits, hit{domain: domain, cohort: cohort, script: script})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].domain < hits[j].domain })
+
+	fmt.Printf("%d sites render %s's canvases:\n", len(hits), *vendor)
+	for i, h := range hits {
+		if i >= 25 {
+			fmt.Printf("  ... and %d more\n", len(hits)-25)
+			break
+		}
+		fmt.Printf("  %-28s (%s cohort)\n", h.domain, h.cohort)
+	}
+
+	// The point of the technique: serving evasions don't matter. Count
+	// how many of these deployments a URL-based approach would miss.
+	firstParty := 0
+	for _, g := range study.Clustering.Groups {
+		if !hashes[g.Hash] {
+			continue
+		}
+		for _, u := range g.ScriptURLs {
+			if !containsVendorHost(u, *vendor) {
+				firstParty++
+			}
+		}
+	}
+	fmt.Printf("\nscript URLs serving these canvases that do NOT mention the vendor: %d\n", firstParty)
+	fmt.Println("(bundled, subdomain-routed, CNAME-cloaked or CDN-served — invisible to URL matching)")
+}
+
+func containsVendorHost(url, slug string) bool {
+	// Minimal check for the demo's purposes.
+	return len(url) > 0 && (contains(url, slug) || contains(url, "fpnpmcdn"))
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package canvassing
+
+import (
+	"fmt"
+	"strings"
+
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/entropy"
+	"canvassing/internal/report"
+	"canvassing/internal/services"
+	"canvassing/internal/web"
+)
+
+// InnerPagesResult is the EX2 extension experiment: how much canvas
+// fingerprinting a homepage-only crawl misses. The paper names this as a
+// limitation (§3.2): login and other inner pages fingerprint more — this
+// experiment re-crawls with inner /login pages followed and measures the
+// prevalence delta.
+type InnerPagesResult struct {
+	// Per cohort: fingerprinting sites seen by the homepage-only crawl
+	// vs by the crawl that follows inner pages.
+	HomepageFPPop, InnerFPPop   int
+	HomepageFPTail, InnerFPTail int
+	CrawledPop, CrawledTail     int
+}
+
+// InnerPages runs EX2. It needs the control crawl (homepage baseline).
+func (s *Study) InnerPages() InnerPagesResult {
+	var r InnerPagesResult
+	for i := range s.Sites {
+		st := &s.Sites[i]
+		if !st.OK {
+			continue
+		}
+		switch st.Cohort {
+		case web.Popular:
+			r.CrawledPop++
+			if st.HasFingerprinting() {
+				r.HomepageFPPop++
+			}
+		case web.Tail:
+			r.CrawledTail++
+			if st.HasFingerprinting() {
+				r.HomepageFPTail++
+			}
+		}
+	}
+	cfg := s.crawlConfig()
+	cfg.VisitInnerPages = true
+	res := crawler.Crawl(s.Web, s.crawlSites, cfg)
+	for _, sc := range detect.AnalyzeAll(res.Pages) {
+		if !sc.OK || !sc.HasFingerprinting() {
+			continue
+		}
+		switch sc.Cohort {
+		case web.Popular:
+			r.InnerFPPop++
+		case web.Tail:
+			r.InnerFPTail++
+		}
+	}
+	return r
+}
+
+// Render formats EX2.
+func (r InnerPagesResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("EX2 — Beyond the homepage: inner login pages (extension; §3.2 limitation)\n")
+	fmt.Fprintf(&sb, "  popular: homepage-only %d fp sites (%s) → with /login %d (%s)\n",
+		r.HomepageFPPop, report.Pct(r.HomepageFPPop, r.CrawledPop),
+		r.InnerFPPop, report.Pct(r.InnerFPPop, r.CrawledPop))
+	fmt.Fprintf(&sb, "  tail:    homepage-only %d fp sites (%s) → with /login %d (%s)\n",
+		r.HomepageFPTail, report.Pct(r.HomepageFPTail, r.CrawledTail),
+		r.InnerFPTail, report.Pct(r.InnerFPTail, r.CrawledTail))
+	sb.WriteString("  (the paper's homepage-only prevalence is a lower bound, as §3.2 states)\n")
+	return sb.String()
+}
+
+// EntropyAnalysisResult is the EX1 extension experiment: discriminating
+// power of each vendor's test canvases across a machine population. It
+// substantiates the premise the whole study rests on (§2: canvas
+// fingerprinting yields some of the highest entropy of any surface).
+type EntropyAnalysisResult struct {
+	Machines int
+	Results  []entropy.Result
+}
+
+// EntropyAnalysis renders every vendor's fingerprinting script on a
+// population of synthetic machines and ranks the vendors by the Shannon
+// entropy of the resulting canvas fingerprints. It does not require any
+// crawl. machines <= 0 selects 32.
+func EntropyAnalysis(machines int, seed uint64) EntropyAnalysisResult {
+	if machines <= 0 {
+		machines = 32
+	}
+	res := EntropyAnalysisResult{Machines: machines}
+	for _, v := range services.Registry() {
+		script := v.Source(services.ScriptParams{SiteDomain: "entropy.local"})
+		res.Results = append(res.Results, entropy.Measure(v.Name, script, machines, seed))
+	}
+	res.Results = entropy.Rank(res.Results)
+	return res
+}
+
+// Render formats EX1.
+func (r EntropyAnalysisResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("EX1 — Canvas fingerprint entropy over %d machines (extension)", r.Machines),
+		"script", "distinct", "entropy(bits)", "max(bits)", "unique", "largest-set")
+	for _, e := range r.Results {
+		t.AddRow(e.Label, e.Distinct,
+			fmt.Sprintf("%.2f", e.EntropyBits), fmt.Sprintf("%.2f", e.MaxBits),
+			report.Pct(e.UniqueMachines, e.Machines), e.LargestAnonymitySet)
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	sb.WriteString("  (a solid-color canvas scores 0 bits: only anti-aliased, text-heavy\n")
+	sb.WriteString("   canvases separate machines — which is why test canvases draw pangrams)\n")
+	return sb.String()
+}

@@ -1,0 +1,3 @@
+module canvassing
+
+go 1.22

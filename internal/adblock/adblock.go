@@ -1,0 +1,76 @@
+// Package adblock implements the two ad-blocker extensions the paper
+// re-crawled with (§5.2): Adblock Plus and uBlock Origin, both driven by
+// EasyList rules. The interesting part is what they DON'T block:
+//
+//   - first-party requests (both extensions exempt same-site loads to
+//     avoid breaking sites — the exception Akamai's /akam/ sensor and
+//     every bundled library ride on);
+//   - popular shared CDNs (Adblock Plus additionally avoids rules on
+//     infrastructure CDNs);
+//   - anything whose rule is mis-scoped (the $document mgid rule).
+//
+// CNAME-cloaked hosts are invisible to both: extensions see the alias
+// URL, which carries the customer's domain and therefore looks
+// first-party.
+package adblock
+
+import (
+	"canvassing/internal/blocklist"
+	"canvassing/internal/netsim"
+)
+
+// AdblockPlus models the ABP extension with EasyList installed.
+type AdblockPlus struct {
+	lists *blocklist.StandardLists
+}
+
+// NewAdblockPlus returns the extension using the given lists.
+func NewAdblockPlus(lists *blocklist.StandardLists) *AdblockPlus {
+	return &AdblockPlus{lists: lists}
+}
+
+// Name implements crawler.Extension.
+func (a *AdblockPlus) Name() string { return "Adblock Plus" }
+
+// BlockScript implements crawler.Extension.
+func (a *AdblockPlus) BlockScript(req blocklist.Request) bool {
+	if !req.ThirdParty {
+		return false // first-party exception
+	}
+	host := hostOf(req.URL)
+	if netsim.ServedFromPopularCDN(host) {
+		return false // infrastructure CDNs are exempted to avoid breakage
+	}
+	return a.lists.EasyList.ShouldBlock(req)
+}
+
+// UBlockOrigin models the uBO extension with EasyList installed. uBO is
+// slightly stricter: it applies rules to shared-CDN hosts too.
+type UBlockOrigin struct {
+	lists *blocklist.StandardLists
+}
+
+// NewUBlockOrigin returns the extension using the given lists.
+func NewUBlockOrigin(lists *blocklist.StandardLists) *UBlockOrigin {
+	return &UBlockOrigin{lists: lists}
+}
+
+// Name implements crawler.Extension.
+func (u *UBlockOrigin) Name() string { return "uBlock Origin" }
+
+// BlockScript implements crawler.Extension.
+func (u *UBlockOrigin) BlockScript(req blocklist.Request) bool {
+	if !req.ThirdParty {
+		return false // first-party exception
+	}
+	return u.lists.EasyList.ShouldBlock(req)
+}
+
+// hostOf extracts the hostname from a URL string without failing.
+func hostOf(rawURL string) string {
+	u, err := netsim.ParseURL(rawURL)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}

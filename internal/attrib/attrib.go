@@ -1,0 +1,296 @@
+// Package attrib attributes canvas groups to fingerprinting vendors
+// using the paper's A.3 methodology, in order of precedence:
+//
+//  1. Demo: crawl the vendor's public demo page and record the test
+//     canvases it renders; identical canvases elsewhere are the vendor's.
+//  2. Known customer: for vendors without a demo, find a customer site,
+//     confirm with the script-pattern heuristic, and take the canvases
+//     its matching script rendered.
+//  3. Script pattern: attribute groups whose producing script URLs match
+//     the vendor's Table 3 pattern.
+//
+// Imperva is the special case: its canvas is unique per customer site, so
+// grouping cannot link its deployments; sites are attributed by the
+// Table 3 regexp over script URLs instead.
+package attrib
+
+import (
+	"regexp"
+	"sort"
+
+	"canvassing/internal/cluster"
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/netsim"
+	"canvassing/internal/services"
+	"canvassing/internal/web"
+)
+
+// Method records how a vendor's canvases were identified (Table 3).
+type Method string
+
+// Attribution methods in order of precedence.
+const (
+	MethodDemo     Method = "demo"
+	MethodCustomer Method = "known-customer"
+	MethodPattern  Method = "script-pattern"
+	MethodRegexp   Method = "url-regexp"
+	MethodNone     Method = "unidentified"
+)
+
+// impervaRe is the Table 3 caption regexp: a first-party script whose
+// path is a single letters-and-hyphens segment.
+var impervaRe = regexp.MustCompile(`^https?://(?:www\.)?[^/]+/([A-Za-z\-]+)$`)
+
+// GroundTruth holds per-vendor canvas hashes and how they were obtained.
+type GroundTruth struct {
+	// Hashes maps vendor slug → set of test-canvas hashes.
+	Hashes map[string]map[string]bool
+	// Methods maps vendor slug → the method that produced its hashes.
+	Methods map[string]Method
+}
+
+// BuildGroundTruth crawls vendor demo pages and, for vendors without a
+// demo, locates a known customer in the main crawl (confirmed by script
+// pattern) to learn each vendor's test canvases.
+func BuildGroundTruth(w *web.Web, mainCrawl []detect.SiteCanvases, cfg crawler.Config) *GroundTruth {
+	gt := &GroundTruth{
+		Hashes:  map[string]map[string]bool{},
+		Methods: map[string]Method{},
+	}
+	// Demo crawls.
+	demoRes := crawler.Crawl(w, w.Demos, cfg)
+	demoSites := detect.AnalyzeAll(demoRes.Pages)
+	demoByDomain := map[string]*detect.SiteCanvases{}
+	for i := range demoSites {
+		demoByDomain[demoSites[i].Domain] = &demoSites[i]
+	}
+	for _, v := range services.Registry() {
+		if v.PerSiteCanvas {
+			gt.Methods[v.Slug] = MethodRegexp
+			continue
+		}
+		if v.HasDemo {
+			if ds, ok := demoByDomain[v.DemoDomain]; ok {
+				set := map[string]bool{}
+				for _, c := range ds.Fingerprintable() {
+					set[c.Hash] = true
+				}
+				if len(set) > 0 {
+					gt.Hashes[v.Slug] = set
+					gt.Methods[v.Slug] = MethodDemo
+					continue
+				}
+			}
+		}
+		// Known customer: find a crawled site whose extraction script
+		// matches the vendor pattern; its matching canvases are ground
+		// truth.
+		if v.URLPattern != "" {
+			set := map[string]bool{}
+			for i := range mainCrawl {
+				for _, c := range mainCrawl[i].Fingerprintable() {
+					if v.MatchURL(c.ScriptURL) {
+						set[c.Hash] = true
+					}
+				}
+				if len(set) > 0 {
+					break // one confirmed customer suffices
+				}
+			}
+			if len(set) > 0 {
+				gt.Hashes[v.Slug] = set
+				gt.Methods[v.Slug] = MethodCustomer
+				continue
+			}
+		}
+		gt.Methods[v.Slug] = MethodNone
+	}
+	return gt
+}
+
+// Row is one Table 1 row.
+type Row struct {
+	Vendor   string
+	Slug     string
+	Security bool
+	Method   Method
+	// Sites per cohort attributed to this vendor.
+	Popular, Tail int
+}
+
+// FPJSBreakdown details the FingerprintJS population (§4.3.1).
+type FPJSBreakdown struct {
+	CommercialPopular int
+	CommercialTail    int
+	// Rebranders maps rebrander slug → [popular, tail] site counts.
+	Rebranders map[string][2]int
+}
+
+// Result is the attribution outcome.
+type Result struct {
+	Rows []Row
+	// SiteVendors maps domain → attributed vendor slugs (sorted).
+	SiteVendors map[string][]string
+	// AttributedSites counts distinct attributed sites per cohort
+	// (Table 1's "Total Sites" row).
+	AttributedSites map[web.Cohort]int
+	// FPSites counts fingerprinting sites per cohort (denominators).
+	FPSites map[web.Cohort]int
+	FPJS    FPJSBreakdown
+}
+
+// Attribute runs grouping-based attribution over a clustering plus the
+// Imperva URL-regexp pass over the analyzed sites.
+func Attribute(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanvases) *Result {
+	res := &Result{
+		SiteVendors:     map[string][]string{},
+		AttributedSites: map[web.Cohort]int{},
+		FPSites:         map[web.Cohort]int{},
+		FPJS:            FPJSBreakdown{Rebranders: map[string][2]int{}},
+	}
+	// Group → vendor via ground-truth hashes, then URL patterns.
+	groupVendor := map[string]string{}
+	for _, g := range cl.Groups {
+		if slug := vendorForGroup(g, gt); slug != "" {
+			groupVendor[g.Hash] = slug
+		}
+	}
+	// Per-site vendor sets.
+	siteVendorSet := map[string]map[string]bool{}
+	cohortOf := map[string]web.Cohort{}
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK || s.Cohort == web.Demo {
+			continue
+		}
+		fp := s.Fingerprintable()
+		if len(fp) == 0 {
+			continue
+		}
+		res.FPSites[s.Cohort]++
+		cohortOf[s.Domain] = s.Cohort
+		set := map[string]bool{}
+		for _, c := range fp {
+			if slug, ok := groupVendor[c.Hash]; ok {
+				set[slug] = true
+			} else if impervaRe.MatchString(c.ScriptURL) {
+				set["imperva"] = true
+			}
+		}
+		if len(set) > 0 {
+			siteVendorSet[s.Domain] = set
+			res.AttributedSites[s.Cohort]++
+		}
+	}
+	// Rows in Table 1 order.
+	counts := map[string]map[web.Cohort]int{}
+	for domain, set := range siteVendorSet {
+		var slugs []string
+		for slug := range set {
+			slugs = append(slugs, slug)
+			if counts[slug] == nil {
+				counts[slug] = map[web.Cohort]int{}
+			}
+			counts[slug][cohortOf[domain]]++
+		}
+		sort.Strings(slugs)
+		res.SiteVendors[domain] = slugs
+	}
+	for _, v := range services.Registry() {
+		res.Rows = append(res.Rows, Row{
+			Vendor:   v.Name,
+			Slug:     v.Slug,
+			Security: v.Category == services.CategorySecurity,
+			Method:   gt.Methods[v.Slug],
+			Popular:  counts[v.Slug][web.Popular],
+			Tail:     counts[v.Slug][web.Tail],
+		})
+	}
+	attributeFPJSTiers(cl, gt, sites, res)
+	return res
+}
+
+// vendorForGroup resolves one canvas group to a vendor slug ("" if
+// unidentified): ground-truth hash match first, then script-URL pattern.
+func vendorForGroup(g *cluster.Group, gt *GroundTruth) string {
+	for _, v := range services.Registry() {
+		if gt.Hashes[v.Slug][g.Hash] {
+			return v.Slug
+		}
+	}
+	for _, v := range services.Registry() {
+		if v.URLPattern == "" {
+			continue
+		}
+		for _, u := range g.ScriptURLs {
+			if v.MatchURL(u) {
+				return v.Slug
+			}
+		}
+	}
+	return ""
+}
+
+// attributeFPJSTiers splits FingerprintJS-attributed sites into
+// commercial customers (fpnpmcdn.net URLs / worker-proxied) and OSS
+// rebranders (script served from a rebrander host).
+func attributeFPJSTiers(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanvases, res *Result) {
+	fpjsHashes := gt.Hashes["fingerprintjs"]
+	if len(fpjsHashes) == 0 {
+		return
+	}
+	rebranders := services.Rebranders()
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK || s.Cohort == web.Demo {
+			continue
+		}
+		commercial := false
+		var rebrand string
+		matched := false
+		for _, c := range s.Fingerprintable() {
+			if !fpjsHashes[c.Hash] {
+				continue
+			}
+			matched = true
+			if services.BySlug("fingerprintjs").MatchURL(c.ScriptURL) {
+				commercial = true
+			}
+			for _, r := range rebranders {
+				if containsHost(c.ScriptURL, r.ScriptHost) {
+					rebrand = r.Slug
+				}
+			}
+		}
+		if !matched {
+			continue
+		}
+		if commercial {
+			if s.Cohort == web.Popular {
+				res.FPJS.CommercialPopular++
+			} else {
+				res.FPJS.CommercialTail++
+			}
+		}
+		if rebrand != "" {
+			pair := res.FPJS.Rebranders[rebrand]
+			if s.Cohort == web.Popular {
+				pair[0]++
+			} else {
+				pair[1]++
+			}
+			res.FPJS.Rebranders[rebrand] = pair
+		}
+	}
+}
+
+// containsHost reports whether rawURL's hostname is host or one of its
+// subdomains.
+func containsHost(rawURL, host string) bool {
+	u, err := netsim.ParseURL(rawURL)
+	if err != nil || host == "" {
+		return false
+	}
+	return u.Host == host || netsim.IsSubdomainOf(u.Host, host)
+}

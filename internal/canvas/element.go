@@ -1,0 +1,176 @@
+// Package canvas emulates the HTML <canvas> element and its 2D rendering
+// context on top of the software rasterizer, with full call tracing.
+//
+// The package exists to be *instrumented*: like the paper's modified
+// Tracker Radar Collector, every API call and property access can be
+// recorded (interface, member, arguments, return value) through a Tracer.
+// Rendering is deterministic per machine profile, which is what makes
+// canvas fingerprints stable and cross-site grouping sound.
+package canvas
+
+import (
+	"fmt"
+	"strings"
+
+	"canvassing/internal/imaging"
+	"canvassing/internal/machine"
+	"canvassing/internal/raster"
+)
+
+// Tracer receives one record per observed Canvas API interaction.
+// Implementations must be cheap; the crawler installs one per page visit.
+type Tracer interface {
+	// Trace is called with the interface name ("HTMLCanvasElement" or
+	// "CanvasRenderingContext2D"), the member invoked, stringified
+	// arguments, and the stringified return value ("" for void).
+	Trace(iface, member string, args []string, ret string)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(iface, member string, args []string, ret string)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(iface, member string, args []string, ret string) {
+	f(iface, member, args, ret)
+}
+
+// ExtractHook transforms pixels at extraction time (toDataURL and
+// getImageData). Canvas-randomization defenses install hooks here; a nil
+// hook returns pixels unchanged.
+type ExtractHook func(img *raster.Image) *raster.Image
+
+// Element is an HTMLCanvasElement.
+type Element struct {
+	width, height int
+	img           *raster.Image
+	ctx           *Context2D
+	glctx         *WebGLContext
+	profile       *machine.Profile
+	tracer        Tracer
+	extractHook   ExtractHook
+}
+
+// defaultW and defaultH are the spec-mandated default canvas size.
+const (
+	defaultW = 300
+	defaultH = 150
+)
+
+// New returns a canvas of the HTML default size (300×150) rendered on the
+// given machine profile. A nil profile uses the Intel reference machine.
+func New(profile *machine.Profile) *Element {
+	if profile == nil {
+		profile = machine.Intel()
+	}
+	return &Element{
+		width:   defaultW,
+		height:  defaultH,
+		img:     raster.NewImage(defaultW, defaultH),
+		profile: profile,
+	}
+}
+
+// SetTracer installs t for this element and its context. Passing nil
+// disables tracing.
+func (e *Element) SetTracer(t Tracer) { e.tracer = t }
+
+// SetExtractHook installs a pixel-extraction hook (randomization defense).
+func (e *Element) SetExtractHook(h ExtractHook) { e.extractHook = h }
+
+// Profile returns the machine profile this element renders on.
+func (e *Element) Profile() *machine.Profile { return e.profile }
+
+func (e *Element) trace(member string, args []string, ret string) {
+	if e.tracer != nil {
+		e.tracer.Trace("HTMLCanvasElement", member, args, ret)
+	}
+}
+
+// Width returns the canvas width attribute.
+func (e *Element) Width() int {
+	e.trace("width", nil, fmt.Sprint(e.width))
+	return e.width
+}
+
+// Height returns the canvas height attribute.
+func (e *Element) Height() int {
+	e.trace("height", nil, fmt.Sprint(e.height))
+	return e.height
+}
+
+// SetWidth sets the width attribute. Per the HTML spec, assigning either
+// dimension resets the bitmap to transparent black and the context state
+// to defaults. Non-positive values select the default dimension.
+func (e *Element) SetWidth(w int) {
+	e.trace("width=", []string{fmt.Sprint(w)}, "")
+	if w <= 0 {
+		w = defaultW
+	}
+	e.width = w
+	e.resetBitmap()
+}
+
+// SetHeight sets the height attribute; see SetWidth.
+func (e *Element) SetHeight(h int) {
+	e.trace("height=", []string{fmt.Sprint(h)}, "")
+	if h <= 0 {
+		h = defaultH
+	}
+	e.height = h
+	e.resetBitmap()
+}
+
+func (e *Element) resetBitmap() {
+	e.img = raster.NewImage(e.width, e.height)
+	if e.ctx != nil {
+		e.ctx.resetState()
+	}
+}
+
+// GetContext returns the 2D rendering context, creating it on first use.
+// Non-"2d" kinds return nil; use GetWebGL for the WebGL-lite context.
+func (e *Element) GetContext(kind string) *Context2D {
+	e.trace("getContext", []string{kind}, "")
+	if strings.ToLower(kind) != "2d" {
+		return nil
+	}
+	if e.ctx == nil {
+		e.ctx = newContext2D(e)
+	}
+	return e.ctx
+}
+
+// GetWebGL returns the element's WebGL-lite context, creating it on
+// first use. A canvas may hold both contexts here (real browsers bind
+// one kind per canvas; scripts in this corpus never mix them).
+func (e *Element) GetWebGL() *WebGLContext {
+	e.trace("getContext", []string{"webgl"}, "")
+	if e.glctx == nil {
+		e.glctx = newWebGLContext(e)
+	}
+	return e.glctx
+}
+
+// Image exposes the backing pixels (no extraction hook applied). Analysis
+// code uses it; page scripts must go through ToDataURL/GetImageData.
+func (e *Element) Image() *raster.Image { return e.img }
+
+// ToDataURL encodes the current bitmap as a data: URL. The format string
+// follows toDataURL's first argument ("" means PNG); quality applies to
+// lossy formats with <=0 selecting the 0.92 default.
+func (e *Element) ToDataURL(format string, quality float64) string {
+	f := imaging.ParseFormat(format)
+	img := e.img
+	if e.extractHook != nil {
+		img = e.extractHook(img)
+	}
+	data, err := imaging.EncodeCached(img, f, quality)
+	if err != nil {
+		// Encoding a valid in-memory image cannot fail with stdlib
+		// codecs; keep the API total anyway.
+		data = nil
+	}
+	u := imaging.DataURL(f, data)
+	e.trace("toDataURL", []string{format}, u)
+	return u
+}

@@ -1,0 +1,192 @@
+package canvas
+
+import (
+	"testing"
+)
+
+func TestSetLineDashDraws(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.SetLineDash([]float64{10, 10})
+	ctx.SetStrokeStyle("#f00")
+	ctx.SetLineWidth(4)
+	ctx.BeginPath()
+	ctx.MoveTo(0, 75)
+	ctx.LineTo(300, 75)
+	ctx.Stroke()
+	// On pixels inside the first dash, off pixels inside the first gap.
+	if e.Image().At(5, 75).A == 0 {
+		t.Fatal("first dash should paint")
+	}
+	if e.Image().At(15, 75).A != 0 {
+		t.Fatal("first gap must stay empty")
+	}
+	if e.Image().At(25, 75).A == 0 {
+		t.Fatal("second dash should paint")
+	}
+}
+
+func TestLineDashOffsetShiftsPattern(t *testing.T) {
+	render := func(offset float64) *Element {
+		e := New(nil)
+		ctx := e.GetContext("2d")
+		ctx.SetLineDash([]float64{10, 10})
+		ctx.SetLineDashOffset(offset)
+		ctx.SetStrokeStyle("#00f")
+		ctx.SetLineWidth(4)
+		ctx.BeginPath()
+		ctx.MoveTo(0, 75)
+		ctx.LineTo(300, 75)
+		ctx.Stroke()
+		return e
+	}
+	plain := render(0)
+	shifted := render(10)
+	// With offset 10 the pattern starts in the gap.
+	if plain.Image().At(5, 75).A == 0 {
+		t.Fatal("offset 0: dash at origin")
+	}
+	if shifted.Image().At(5, 75).A != 0 {
+		t.Fatal("offset 10: gap at origin")
+	}
+}
+
+func TestGetLineDashCopies(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.SetLineDash([]float64{4, 2})
+	got := ctx.GetLineDash()
+	if len(got) != 2 || got[0] != 4 || got[1] != 2 {
+		t.Fatalf("dash = %v", got)
+	}
+	got[0] = 99
+	if ctx.GetLineDash()[0] != 4 {
+		t.Fatal("GetLineDash must return a copy")
+	}
+	// Negative entries ignore the whole call.
+	ctx.SetLineDash([]float64{5, -1})
+	if ctx.GetLineDash()[0] != 4 {
+		t.Fatal("negative dash entries must be ignored")
+	}
+}
+
+func TestOddDashPatternRepeatsDoubled(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.SetLineDash([]float64{10}) // => 10 on, 10 off
+	ctx.SetStrokeStyle("#0f0")
+	ctx.SetLineWidth(4)
+	ctx.BeginPath()
+	ctx.MoveTo(0, 75)
+	ctx.LineTo(100, 75)
+	ctx.Stroke()
+	if e.Image().At(5, 75).A == 0 || e.Image().At(15, 75).A != 0 {
+		t.Fatal("odd pattern should alternate 10/10")
+	}
+}
+
+func TestArcToRoundsCorner(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.BeginPath()
+	ctx.MoveTo(20, 20)
+	ctx.ArcTo(150, 20, 150, 70, 30) // rounded top-right corner
+	ctx.LineTo(150, 120)
+	ctx.SetStrokeStyle("#000")
+	ctx.SetLineWidth(3)
+	ctx.Stroke()
+	img := e.Image()
+	// The horizontal run is painted.
+	if img.At(60, 20).A == 0 {
+		t.Fatal("horizontal leg missing")
+	}
+	// The sharp corner point must NOT be painted (it is rounded off).
+	if img.At(150, 20).A != 0 {
+		t.Fatal("corner should be rounded away")
+	}
+	// The vertical leg is painted below the arc.
+	if img.At(150, 100).A == 0 {
+		t.Fatal("vertical leg missing")
+	}
+	// Some arc pixel between the tangent points exists (x≈141, y≈29 for
+	// r=30 at 45°).
+	found := false
+	for y := 21; y < 35 && !found; y++ {
+		for x := 135; x < 150; x++ {
+			if img.At(x, y).A > 0 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("arc segment missing")
+	}
+}
+
+func TestArcToDegenerateFallsBackToLine(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.BeginPath()
+	ctx.MoveTo(10, 10)
+	ctx.ArcTo(100, 10, 200, 10, 20) // collinear → lineTo(100,10)
+	ctx.SetStrokeStyle("#f0f")
+	ctx.SetLineWidth(3)
+	ctx.Stroke()
+	if e.Image().At(50, 10).A == 0 {
+		t.Fatal("collinear arcTo should draw the line to p1")
+	}
+	// Zero radius also degrades to lineTo.
+	e2 := New(nil)
+	ctx2 := e2.GetContext("2d")
+	ctx2.BeginPath()
+	ctx2.MoveTo(10, 10)
+	ctx2.ArcTo(100, 60, 10, 110, 0)
+	ctx2.SetStrokeStyle("#f0f")
+	ctx2.Stroke()
+	if e2.Image().At(55, 35).A == 0 {
+		t.Fatal("zero-radius arcTo should draw the line")
+	}
+}
+
+func TestIsPointInPath(t *testing.T) {
+	e := New(nil)
+	ctx := e.GetContext("2d")
+	ctx.BeginPath()
+	ctx.Rect(10, 10, 50, 50)
+	if !ctx.IsPointInPath(30, 30, "") {
+		t.Fatal("inside")
+	}
+	if ctx.IsPointInPath(5, 5, "") || ctx.IsPointInPath(70, 30, "") {
+		t.Fatal("outside")
+	}
+	// Even-odd with nested rects: hole in the middle.
+	ctx.Rect(20, 20, 30, 30)
+	if ctx.IsPointInPath(35, 35, "evenodd") {
+		t.Fatal("evenodd hole")
+	}
+	if !ctx.IsPointInPath(35, 35, "") {
+		t.Fatal("nonzero fills nested rects")
+	}
+	if !ctx.IsPointInPath(12, 35, "evenodd") {
+		t.Fatal("evenodd ring")
+	}
+}
+
+func TestDashedStrokeIsMachineStable(t *testing.T) {
+	render := func() string {
+		e := New(nil)
+		ctx := e.GetContext("2d")
+		ctx.SetLineDash([]float64{7, 3, 2, 3})
+		ctx.SetStrokeStyle("#123")
+		ctx.SetLineWidth(2)
+		ctx.BeginPath()
+		ctx.MoveTo(5, 10)
+		ctx.QuadraticCurveTo(150, 140, 295, 10)
+		ctx.Stroke()
+		return e.ToDataURL("", 0)
+	}
+	if render() != render() {
+		t.Fatal("dashed strokes must stay deterministic")
+	}
+}

@@ -1,0 +1,144 @@
+package canvas
+
+import (
+	"strings"
+	"testing"
+
+	"canvassing/internal/machine"
+)
+
+func TestWebGLGetParameter(t *testing.T) {
+	e := New(machine.Intel())
+	gl := e.GetWebGL()
+	if got := gl.GetParameter(GLUnmaskedRendererWebGL); !strings.Contains(got, "Intel") {
+		t.Fatalf("renderer: %q", got)
+	}
+	if got := gl.GetParameter(GLUnmaskedVendorWebGL); got == "" {
+		t.Fatal("vendor")
+	}
+	if gl.GetParameter(0xDEAD) != "" {
+		t.Fatal("unknown parameter should be empty")
+	}
+	// Same context object on repeat calls.
+	if e.GetWebGL() != gl {
+		t.Fatal("context identity")
+	}
+}
+
+func TestWebGLParametersDifferAcrossMachines(t *testing.T) {
+	a := New(machine.Intel()).GetWebGL().GetParameter(GLUnmaskedRendererWebGL)
+	b := New(machine.AppleM1()).GetWebGL().GetParameter(GLUnmaskedRendererWebGL)
+	if a == b {
+		t.Fatal("GPU strings must differ")
+	}
+}
+
+func TestWebGLClear(t *testing.T) {
+	e := New(nil)
+	gl := e.GetWebGL()
+	gl.ClearColor(1, 0, 0, 1)
+	gl.Clear(GLColorBufferBit)
+	if px := e.Image().At(10, 10); px.R != 255 || px.A != 255 {
+		t.Fatalf("clear color: %v", px)
+	}
+	// Depth-only clear leaves pixels alone.
+	gl.ClearColor(0, 1, 0, 1)
+	gl.Clear(GLDepthBufferBit)
+	if e.Image().At(10, 10).R != 255 {
+		t.Fatal("depth clear must not touch color")
+	}
+	// Out-of-range clear colors clamp.
+	gl.ClearColor(-5, 7, 0.5, 2)
+	gl.Clear(GLColorBufferBit)
+	px := e.Image().At(0, 0)
+	if px.R != 0 || px.G != 255 || px.A != 255 {
+		t.Fatalf("clamped clear: %v", px)
+	}
+}
+
+func TestWebGLDrawArraysTriangle(t *testing.T) {
+	e := New(nil)
+	e.SetWidth(100)
+	e.SetHeight(100)
+	gl := e.GetWebGL()
+	gl.BufferData([]float64{-0.8, -0.8, 0.8, -0.8, 0, 0.8})
+	gl.DrawArrays(GLTriangles, 0, 3)
+	if e.Image().At(50, 50).A == 0 {
+		t.Fatal("triangle centroid should be painted")
+	}
+	if e.Image().At(3, 3).A != 0 {
+		t.Fatal("outside the triangle must stay empty")
+	}
+	// Clip-space y is up: the apex (0, 0.8) lands near the TOP.
+	if e.Image().At(50, 15).A == 0 {
+		t.Fatal("apex should be near the top of the canvas")
+	}
+	if e.Image().At(50, 95).A != 0 {
+		t.Fatal("below the base must be empty")
+	}
+}
+
+func TestWebGLTriangleStrip(t *testing.T) {
+	e := New(nil)
+	e.SetWidth(80)
+	e.SetHeight(80)
+	gl := e.GetWebGL()
+	// Full-screen quad as a strip.
+	gl.BufferData([]float64{-1, -1, 1, -1, -1, 1, 1, 1})
+	gl.DrawArrays(GLTriangleStrip, 0, 4)
+	for _, p := range [][2]int{{5, 5}, {75, 5}, {5, 75}, {75, 75}, {40, 40}} {
+		if e.Image().At(p[0], p[1]).A == 0 {
+			t.Fatalf("quad should cover (%d,%d)", p[0], p[1])
+		}
+	}
+}
+
+func TestWebGLDegenerateDraws(t *testing.T) {
+	e := New(nil)
+	gl := e.GetWebGL()
+	gl.DrawArrays(GLTriangles, 0, 3) // empty buffer
+	gl.BufferData([]float64{0, 0, 1, 1})
+	gl.DrawArrays(GLTriangles, 0, 3) // too few vertices
+	gl.DrawArrays(0x9999, 0, 3)      // unknown mode
+	for i := range e.Image().Pix {
+		if e.Image().Pix[i] != 0 {
+			t.Fatal("degenerate draws must paint nothing")
+		}
+	}
+}
+
+func TestWebGLHandlesDistinct(t *testing.T) {
+	gl := New(nil).GetWebGL()
+	a := gl.CreateHandle("Shader")
+	b := gl.CreateHandle("Program")
+	if a == b || a == 0 || b == 0 {
+		t.Fatal("handles must be distinct and truthy")
+	}
+}
+
+func TestWebGLExtensionsVaryByMachine(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		p := machine.Synthetic(string(rune('a' + i)))
+		seen[len(New(p).GetWebGL().GetSupportedExtensions())] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("extension list length should vary across machines")
+	}
+}
+
+func TestWebGLTraced(t *testing.T) {
+	e := New(nil)
+	tr := &recordingTracer{}
+	e.SetTracer(tr)
+	gl := e.GetWebGL()
+	gl.GetParameter(GLRenderer)
+	gl.DrawArrays(GLTriangles, 0, 0)
+	want := map[string]bool{}
+	for _, c := range tr.calls {
+		want[c] = true
+	}
+	if !want["WebGLRenderingContext.getParameter"] || !want["WebGLRenderingContext.drawArrays"] {
+		t.Fatalf("traced calls: %v", tr.calls)
+	}
+}

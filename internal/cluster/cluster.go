@@ -1,0 +1,249 @@
+// Package cluster implements the paper's central technique (§4.2):
+// grouping identical test canvases across sites. Because rendering is
+// deterministic per machine and the crawler visits every site with the
+// same browser and machine, every site running a given fingerprinting
+// script yields byte-identical toDataURL output — so grouping by canvas
+// hash "fingerprints the fingerprinters".
+package cluster
+
+import (
+	"sort"
+
+	"canvassing/internal/detect"
+	"canvassing/internal/web"
+)
+
+// Group is one set of identical fingerprintable canvases.
+type Group struct {
+	// Hash identifies the canvas bytes.
+	Hash string
+	// Sample is one representative canvas (script URL, dimensions...).
+	Sample detect.CanvasInfo
+	// Sites maps cohort → the distinct site domains the canvas appeared
+	// on, sorted.
+	Sites map[web.Cohort][]string
+	// Events counts extraction events (≥ site count; double renders and
+	// re-extractions inflate it).
+	Events int
+	// ScriptURLs are the distinct script URLs that produced this canvas,
+	// sorted (attribution uses them).
+	ScriptURLs []string
+}
+
+// SiteCount returns the number of distinct sites in a cohort.
+func (g *Group) SiteCount(c web.Cohort) int { return len(g.Sites[c]) }
+
+// TotalSites returns distinct sites across the crawl cohorts.
+func (g *Group) TotalSites() int {
+	return len(g.Sites[web.Popular]) + len(g.Sites[web.Tail])
+}
+
+// Clustering is the grouping result over a crawl.
+type Clustering struct {
+	// Groups sorted by popular-site count descending, ties by hash.
+	Groups []*Group
+
+	byHash   map[string]*Group
+	bySite   map[string][]*Group
+	siteInfo map[string]siteMeta
+}
+
+type siteMeta struct {
+	cohort web.Cohort
+	rank   int
+}
+
+// Build groups the fingerprintable canvases of the analyzed sites.
+func Build(sites []detect.SiteCanvases) *Clustering {
+	cl := &Clustering{
+		byHash:   map[string]*Group{},
+		bySite:   map[string][]*Group{},
+		siteInfo: map[string]siteMeta{},
+	}
+	siteSeen := map[string]map[string]bool{} // hash -> site set
+	scriptSeen := map[string]map[string]bool{}
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK {
+			continue
+		}
+		cl.siteInfo[s.Domain] = siteMeta{cohort: s.Cohort, rank: s.Rank}
+		for _, c := range s.All {
+			if !c.Fingerprintable {
+				continue
+			}
+			g := cl.byHash[c.Hash]
+			if g == nil {
+				g = &Group{
+					Hash:   c.Hash,
+					Sample: c,
+					Sites:  map[web.Cohort][]string{},
+				}
+				cl.byHash[c.Hash] = g
+				siteSeen[c.Hash] = map[string]bool{}
+				scriptSeen[c.Hash] = map[string]bool{}
+			}
+			g.Events++
+			if !siteSeen[c.Hash][s.Domain] {
+				siteSeen[c.Hash][s.Domain] = true
+				g.Sites[s.Cohort] = append(g.Sites[s.Cohort], s.Domain)
+				cl.bySite[s.Domain] = append(cl.bySite[s.Domain], g)
+			}
+			if !scriptSeen[c.Hash][c.ScriptURL] {
+				scriptSeen[c.Hash][c.ScriptURL] = true
+				g.ScriptURLs = append(g.ScriptURLs, c.ScriptURL)
+			}
+		}
+	}
+	for _, g := range cl.byHash {
+		for _, cohort := range []web.Cohort{web.Popular, web.Tail, web.Demo} {
+			sort.Strings(g.Sites[cohort])
+		}
+		sort.Strings(g.ScriptURLs)
+		cl.Groups = append(cl.Groups, g)
+	}
+	sort.Slice(cl.Groups, func(i, j int) bool {
+		a, b := cl.Groups[i], cl.Groups[j]
+		if a.SiteCount(web.Popular) != b.SiteCount(web.Popular) {
+			return a.SiteCount(web.Popular) > b.SiteCount(web.Popular)
+		}
+		return a.Hash < b.Hash
+	})
+	return cl
+}
+
+// GroupByHash returns the group for a canvas hash, or nil.
+func (c *Clustering) GroupByHash(hash string) *Group { return c.byHash[hash] }
+
+// GroupsOfSite returns the groups a site's canvases belong to.
+func (c *Clustering) GroupsOfSite(domain string) []*Group { return c.bySite[domain] }
+
+// UniqueCanvases counts distinct fingerprintable canvases that appeared
+// in a cohort (the §4.2 504/288 numbers).
+func (c *Clustering) UniqueCanvases(cohort web.Cohort) int {
+	n := 0
+	for _, g := range c.Groups {
+		if g.SiteCount(cohort) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TopK returns the k groups with the highest popular-site counts
+// (Figure 1's x-axis).
+func (c *Clustering) TopK(k int) []*Group {
+	if k > len(c.Groups) {
+		k = len(c.Groups)
+	}
+	return c.Groups[:k]
+}
+
+// SitesCoveredByTop returns how many of the cohort's fingerprinting
+// sites generate at least one of the top-k canvases (the "six
+// most-frequent canvases account for 70.1%" measurement).
+func (c *Clustering) SitesCoveredByTop(k int, cohort web.Cohort) (covered, total int) {
+	top := map[string]bool{}
+	for i, g := range c.Groups {
+		if i >= k {
+			break
+		}
+		top[g.Hash] = true
+	}
+	for domain, groups := range c.bySite {
+		if c.siteInfo[domain].cohort != cohort {
+			continue
+		}
+		total++
+		for _, g := range groups {
+			if top[g.Hash] {
+				covered++
+				break
+			}
+		}
+	}
+	return covered, total
+}
+
+// OverlapStats reports cross-cohort sharing (§4.2): the fraction of tail
+// fingerprinting sites whose canvases include one also seen on a popular
+// site, and the sizes of the largest tail-only groups.
+type OverlapStats struct {
+	TailFPSites          int
+	TailSharingWithTop   int
+	TailOnlyGroupSizes   []int // descending
+	LargestTailOnlyGroup int
+	SecondTailOnlyGroup  int
+}
+
+// Overlap computes cross-cohort overlap statistics.
+func (c *Clustering) Overlap() OverlapStats {
+	var st OverlapStats
+	for domain, groups := range c.bySite {
+		if c.siteInfo[domain].cohort != web.Tail {
+			continue
+		}
+		st.TailFPSites++
+		for _, g := range groups {
+			if g.SiteCount(web.Popular) > 0 {
+				st.TailSharingWithTop++
+				break
+			}
+		}
+	}
+	for _, g := range c.Groups {
+		if g.SiteCount(web.Tail) > 0 && g.SiteCount(web.Popular) == 0 {
+			st.TailOnlyGroupSizes = append(st.TailOnlyGroupSizes, g.SiteCount(web.Tail))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(st.TailOnlyGroupSizes)))
+	if len(st.TailOnlyGroupSizes) > 0 {
+		st.LargestTailOnlyGroup = st.TailOnlyGroupSizes[0]
+	}
+	if len(st.TailOnlyGroupSizes) > 1 {
+		st.SecondTailOnlyGroup = st.TailOnlyGroupSizes[1]
+	}
+	return st
+}
+
+// PerSiteCounts returns, per fingerprinting site in the cohort, the
+// number of fingerprintable extraction events (the §4.1 mean/median/max
+// population). Pass the analyzed sites used to Build.
+func PerSiteCounts(sites []detect.SiteCanvases, cohort web.Cohort) []float64 {
+	var out []float64
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK || s.Cohort != cohort {
+			continue
+		}
+		n := len(s.Fingerprintable())
+		if n > 0 {
+			out = append(out, float64(n))
+		}
+	}
+	return out
+}
+
+// InconsistencyCheckStats reports, per cohort, how many fingerprinting
+// sites extracted the same fingerprintable canvas at least twice — the
+// §5.3 double-render randomization probe (45% in the paper).
+func InconsistencyCheckStats(sites []detect.SiteCanvases, cohort web.Cohort) (checking, total int) {
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK || s.Cohort != cohort || !s.HasFingerprinting() {
+			continue
+		}
+		total++
+		counts := map[string]int{}
+		for _, c := range s.Fingerprintable() {
+			counts[c.Hash]++
+		}
+		for _, n := range counts {
+			if n >= 2 {
+				checking++
+				break
+			}
+		}
+	}
+	return checking, total
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"testing"
+
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/web"
+)
+
+// fakeSite builds an analyzed site with the given fingerprintable hashes.
+func fakeSite(domain string, cohort web.Cohort, hashes ...string) detect.SiteCanvases {
+	s := detect.SiteCanvases{Domain: domain, Cohort: cohort, OK: true}
+	for i, h := range hashes {
+		s.All = append(s.All, detect.CanvasInfo{
+			ScriptURL:       "https://" + domain + "/s.js",
+			Hash:            h,
+			Fingerprintable: true,
+			DataURL:         "data:image/png;base64,x" + h,
+			W:               100, H: 100,
+		})
+		_ = i
+	}
+	return s
+}
+
+func TestBuildGroups(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("a.com", web.Popular, "h1", "h2"),
+		fakeSite("b.com", web.Popular, "h1"),
+		fakeSite("c.com", web.Tail, "h1"),
+		fakeSite("d.com", web.Tail, "h3"),
+	}
+	cl := Build(sites)
+	if len(cl.Groups) != 3 {
+		t.Fatalf("groups = %d", len(cl.Groups))
+	}
+	g1 := cl.GroupByHash("h1")
+	if g1.SiteCount(web.Popular) != 2 || g1.SiteCount(web.Tail) != 1 {
+		t.Fatalf("h1 counts: %+v", g1.Sites)
+	}
+	if g1.TotalSites() != 3 || g1.Events != 3 {
+		t.Fatalf("h1 totals: %d sites %d events", g1.TotalSites(), g1.Events)
+	}
+	// Sorted by popular count: h1 first.
+	if cl.Groups[0].Hash != "h1" {
+		t.Fatalf("sort order: %s", cl.Groups[0].Hash)
+	}
+	if got := cl.GroupsOfSite("a.com"); len(got) != 2 {
+		t.Fatalf("a.com groups = %d", len(got))
+	}
+}
+
+func TestEventsCountDuplicates(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("a.com", web.Popular, "h1", "h1", "h1"),
+	}
+	cl := Build(sites)
+	g := cl.GroupByHash("h1")
+	if g.Events != 3 {
+		t.Fatalf("events = %d", g.Events)
+	}
+	if g.SiteCount(web.Popular) != 1 {
+		t.Fatal("same site counted once")
+	}
+}
+
+func TestUniqueCanvases(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("a.com", web.Popular, "h1", "h2"),
+		fakeSite("b.com", web.Tail, "h2", "h3"),
+	}
+	cl := Build(sites)
+	if cl.UniqueCanvases(web.Popular) != 2 {
+		t.Fatal("popular unique")
+	}
+	if cl.UniqueCanvases(web.Tail) != 2 {
+		t.Fatal("tail unique")
+	}
+}
+
+func TestNonFingerprintableIgnored(t *testing.T) {
+	s := detect.SiteCanvases{Domain: "x.com", Cohort: web.Popular, OK: true}
+	s.All = append(s.All, detect.CanvasInfo{Hash: "h9", Fingerprintable: false, Exclude: detect.SmallCanvas})
+	cl := Build([]detect.SiteCanvases{s})
+	if len(cl.Groups) != 0 {
+		t.Fatal("excluded canvases must not form groups")
+	}
+}
+
+func TestFailedSitesIgnored(t *testing.T) {
+	s := fakeSite("down.com", web.Popular, "h1")
+	s.OK = false
+	cl := Build([]detect.SiteCanvases{s})
+	if len(cl.Groups) != 0 {
+		t.Fatal("failed crawls must not contribute")
+	}
+}
+
+func TestSitesCoveredByTop(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("a.com", web.Popular, "big"),
+		fakeSite("b.com", web.Popular, "big"),
+		fakeSite("c.com", web.Popular, "big", "small"),
+		fakeSite("d.com", web.Popular, "rare"),
+	}
+	cl := Build(sites)
+	covered, total := cl.SitesCoveredByTop(1, web.Popular)
+	if total != 4 || covered != 3 {
+		t.Fatalf("top-1 coverage = %d/%d", covered, total)
+	}
+	covered, _ = cl.SitesCoveredByTop(10, web.Popular)
+	if covered != 4 {
+		t.Fatal("top-10 should cover all")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("p1.com", web.Popular, "shared"),
+		fakeSite("t1.com", web.Tail, "shared"),
+		fakeSite("t2.com", web.Tail, "tailonly1"),
+		fakeSite("t3.com", web.Tail, "tailonly1"),
+		fakeSite("t4.com", web.Tail, "tailonly2"),
+	}
+	cl := Build(sites)
+	st := cl.Overlap()
+	if st.TailFPSites != 4 {
+		t.Fatalf("tail fp sites = %d", st.TailFPSites)
+	}
+	if st.TailSharingWithTop != 1 {
+		t.Fatalf("sharing = %d", st.TailSharingWithTop)
+	}
+	if st.LargestTailOnlyGroup != 2 || st.SecondTailOnlyGroup != 1 {
+		t.Fatalf("tail-only sizes: %+v", st.TailOnlyGroupSizes)
+	}
+}
+
+func TestPerSiteCounts(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("a.com", web.Popular, "h1", "h2", "h3"),
+		fakeSite("b.com", web.Popular, "h1"),
+		fakeSite("c.com", web.Tail, "h1"),
+		{Domain: "none.com", Cohort: web.Popular, OK: true},
+	}
+	counts := PerSiteCounts(sites, web.Popular)
+	if len(counts) != 2 {
+		t.Fatalf("fp sites = %d", len(counts))
+	}
+	sum := counts[0] + counts[1]
+	if sum != 4 {
+		t.Fatalf("events = %v", sum)
+	}
+}
+
+func TestInconsistencyCheckStats(t *testing.T) {
+	sites := []detect.SiteCanvases{
+		fakeSite("double.com", web.Popular, "h1", "h1"),
+		fakeSite("single.com", web.Popular, "h2"),
+	}
+	checking, total := InconsistencyCheckStats(sites, web.Popular)
+	if total != 2 || checking != 1 {
+		t.Fatalf("check stats = %d/%d", checking, total)
+	}
+}
+
+func TestEndToEndClustering(t *testing.T) {
+	w := web.Generate(web.Config{Seed: 41, Scale: 0.05, TrancoMax: 1_000_000})
+	all := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	res := crawler.Crawl(w, all, crawler.DefaultConfig())
+	sites := detect.AnalyzeAll(res.Pages)
+	cl := Build(sites)
+
+	if len(cl.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// The same vendor canvas on many sites must form one group: the top
+	// group should span a meaningful share of fingerprinting sites.
+	top := cl.Groups[0]
+	if top.SiteCount(web.Popular) < 10 {
+		t.Fatalf("top group too small: %d", top.SiteCount(web.Popular))
+	}
+	// Unique canvases should land near scale×(504, 288) — loose bounds.
+	up, ut := cl.UniqueCanvases(web.Popular), cl.UniqueCanvases(web.Tail)
+	if up < 10 || up > 80 {
+		t.Fatalf("popular unique canvases = %d", up)
+	}
+	if ut < 8 || ut > 60 {
+		t.Fatalf("tail unique canvases = %d", ut)
+	}
+	// Overlap: the great majority of tail fingerprinting sites share a
+	// canvas with a popular site (paper: 91.4%).
+	ov := cl.Overlap()
+	if ov.TailFPSites == 0 {
+		t.Fatal("no tail fp sites")
+	}
+	frac := float64(ov.TailSharingWithTop) / float64(ov.TailFPSites)
+	if frac < 0.6 {
+		t.Fatalf("tail overlap = %.2f, want high", frac)
+	}
+	// Double-render checks appear on a sizable share of fp sites (~45%).
+	checking, total := InconsistencyCheckStats(sites, web.Popular)
+	if total == 0 {
+		t.Fatal("no fp sites")
+	}
+	cf := float64(checking) / float64(total)
+	if cf < 0.2 || cf > 0.8 {
+		t.Fatalf("inconsistency-check fraction = %.2f, want ~0.45", cf)
+	}
+}

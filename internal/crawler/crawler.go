@@ -1,0 +1,319 @@
+// Package crawler is the instrumented crawler (the Tracker Radar
+// Collector analog, §3.1): it visits pages with a worker pool, executes
+// their scripts in the jsvm against an instrumented DOM, simulates
+// consent-banner acceptance and scrolling, supports ad-blocker
+// extensions, and records every Canvas API interaction with script
+// attribution.
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"canvassing/internal/blocklist"
+	"canvassing/internal/canvas"
+	"canvassing/internal/dom"
+	"canvassing/internal/jsvm"
+	"canvassing/internal/machine"
+	"canvassing/internal/netsim"
+	"canvassing/internal/stats"
+	"canvassing/internal/web"
+)
+
+// Extraction is one canvas extraction event (a toDataURL return).
+type Extraction struct {
+	// ScriptURL is the page script whose execution produced the
+	// extraction (a first-party bundle attributes to the bundle URL,
+	// exactly as a real crawler would see it).
+	ScriptURL string
+	// DataURL is the full extracted value.
+	DataURL string
+	// Seq orders events within the page visit.
+	Seq int
+}
+
+// Record is one raw Canvas API call record (optional, Config.KeepRecords).
+type Record struct {
+	ScriptURL string
+	Iface     string
+	Member    string
+	Args      []string
+	Ret       string
+	Seq       int
+}
+
+// PageResult is the outcome of one page visit.
+type PageResult struct {
+	Domain string
+	Rank   int
+	Cohort web.Cohort
+	// OK is false when the site could not be crawled.
+	OK bool
+	// Extractions lists canvas extraction events in order.
+	Extractions []Extraction
+	// ScriptMethods maps script URL → set of context/canvas members the
+	// script invoked (the detection heuristics consume this).
+	ScriptMethods map[string]map[string]bool
+	// BlockedScripts lists script URLs an extension blocked.
+	BlockedScripts []string
+	// ScriptErrors maps script URL → error text for scripts that failed.
+	ScriptErrors map[string]string
+	// Records holds raw API records when Config.KeepRecords is set.
+	Records []Record
+}
+
+// Result is a whole crawl.
+type Result struct {
+	// Pages are per-site results in input order.
+	Pages []*PageResult
+	// Machine names the profile the crawl ran on.
+	Machine string
+	// Extension names the ad blocker in use ("" for control).
+	Extension string
+}
+
+// SuccessfulPages returns pages that crawled OK.
+func (r *Result) SuccessfulPages() []*PageResult {
+	var out []*PageResult
+	for _, p := range r.Pages {
+		if p.OK {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Extension is an ad-blocker browser extension observing requests.
+type Extension interface {
+	// Name identifies the extension for reports.
+	Name() string
+	// BlockScript decides whether a script request is blocked. The
+	// extension sees the request URL as the page references it (CNAME
+	// cloaking is invisible here, as in a real browser).
+	BlockScript(req blocklist.Request) bool
+}
+
+// Config controls a crawl.
+type Config struct {
+	// Workers sets the worker-pool width; <=0 selects 8.
+	Workers int
+	// Profile is the machine the crawl renders on (nil → Intel).
+	Profile *machine.Profile
+	// Extension is the installed ad blocker (nil → control crawl).
+	Extension Extension
+	// ExtractHook, when non-nil, installs a canvas-randomization defense
+	// on every page (§5.3 experiments).
+	ExtractHook canvas.ExtractHook
+	// AutoConsent opts into consent banners, as the paper's crawler does
+	// with the autoconsent library. When false, consent-gated scripts
+	// never run.
+	AutoConsent bool
+	// Scroll simulates scrolling, triggering lazy scripts. The paper's
+	// crawler scrolls and waits five seconds.
+	Scroll bool
+	// VisitInnerPages also follows the site's /login inner page after
+	// the homepage — the paper's crawler deliberately does NOT (§3.2
+	// limitation); the EX2 extension experiment flips this on.
+	VisitInnerPages bool
+	// KeepRecords retains raw API call records (memory-heavy).
+	KeepRecords bool
+	// MaxStepsPerScript bounds each script's execution; <=0 → 20M
+	// (hashing sixty data URLs in script, as the heaviest audit pages
+	// do, costs several million interpreter steps).
+	MaxStepsPerScript int
+	// Seed decorrelates Math.random across crawls.
+	Seed uint64
+	// DisableParseCache forces re-parsing every script body on every
+	// page (ablation benchmark).
+	DisableParseCache bool
+}
+
+// DefaultConfig returns the paper's crawl configuration: consent
+// acceptance, scrolling, no extension, Intel machine.
+func DefaultConfig() Config {
+	return Config{
+		Workers:     8,
+		Profile:     machine.Intel(),
+		AutoConsent: true,
+		Scroll:      true,
+		Seed:        1,
+	}
+}
+
+// progCache memoizes parsed programs across page visits. Vendor scripts
+// are byte-identical across thousands of sites, so parsing each body once
+// cuts crawl time severalfold; execution state lives entirely in the
+// per-page interpreter, so sharing the AST is safe.
+type progCache struct {
+	mu    sync.RWMutex
+	progs map[uint64]*jsvm.Program
+}
+
+func (c *progCache) get(body string) (*jsvm.Program, error) {
+	key := stats.HashString(body)
+	c.mu.RLock()
+	p, ok := c.progs[key]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := jsvm.Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.progs[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Crawl visits the given sites of w and returns per-page results.
+func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = machine.Intel()
+	}
+	if cfg.MaxStepsPerScript <= 0 {
+		cfg.MaxStepsPerScript = 20_000_000
+	}
+	res := &Result{
+		Pages:   make([]*PageResult, len(sites)),
+		Machine: cfg.Profile.Name,
+	}
+	if cfg.Extension != nil {
+		res.Extension = cfg.Extension.Name()
+	}
+	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for k := 0; k < cfg.Workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res.Pages[i] = visit(w, sites[i], cfg, cache)
+			}
+		}()
+	}
+	for i := range sites {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+// visit performs one page load.
+func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult {
+	pr := &PageResult{
+		Domain:        site.Domain,
+		Rank:          site.Rank,
+		Cohort:        site.Cohort,
+		OK:            site.CrawlOK,
+		ScriptMethods: map[string]map[string]bool{},
+		ScriptErrors:  map[string]string{},
+	}
+	if !site.CrawlOK {
+		return pr
+	}
+	in := jsvm.New(jsvm.Options{
+		MaxSteps: cfg.MaxStepsPerScript,
+		RandSeed: cfg.Seed ^ stats.HashString("page:"+site.Domain),
+	})
+	doc := dom.NewDocument(cfg.Profile, site.Domain)
+	if cfg.ExtractHook != nil {
+		doc.ExtractHook = cfg.ExtractHook
+	}
+
+	seq := 0
+	currentScript := ""
+	doc.Tracer = canvas.TracerFunc(func(iface, member string, args []string, ret string) {
+		seq++
+		ms := pr.ScriptMethods[currentScript]
+		if ms == nil {
+			ms = map[string]bool{}
+			pr.ScriptMethods[currentScript] = ms
+		}
+		ms[member] = true
+		if member == "toDataURL" && ret != "" {
+			pr.Extractions = append(pr.Extractions, Extraction{
+				ScriptURL: currentScript,
+				DataURL:   ret,
+				Seq:       seq,
+			})
+		}
+		if cfg.KeepRecords {
+			pr.Records = append(pr.Records, Record{
+				ScriptURL: currentScript,
+				Iface:     iface,
+				Member:    member,
+				Args:      args,
+				Ret:       ret,
+				Seq:       seq,
+			})
+		}
+	})
+	doc.Install(in)
+
+	runScript := func(ps web.PageScript) {
+		if ps.NeedsConsent && !cfg.AutoConsent {
+			return // banner never accepted: gated tag stays dormant
+		}
+		req := blocklist.Request{
+			URL:        ps.URL.String(),
+			Type:       blocklist.TypeScript,
+			PageHost:   site.Domain,
+			ThirdParty: !netsim.SameSite(ps.URL.Host, site.Domain),
+		}
+		if cfg.Extension != nil && cfg.Extension.BlockScript(req) {
+			pr.BlockedScripts = append(pr.BlockedScripts, req.URL)
+			return
+		}
+		body, err := w.Store.Fetch(ps.URL)
+		if err != nil {
+			pr.ScriptErrors[req.URL] = fmt.Sprintf("fetch: %v", err)
+			return
+		}
+		var prog *jsvm.Program
+		if cfg.DisableParseCache {
+			prog, err = jsvm.Parse(body.Body)
+		} else {
+			prog, err = cache.get(body.Body)
+		}
+		if err != nil {
+			pr.ScriptErrors[req.URL] = err.Error()
+			return
+		}
+		prev := currentScript
+		currentScript = req.URL
+		in.ResetSteps()
+		if _, err := in.Run(prog); err != nil {
+			pr.ScriptErrors[req.URL] = err.Error()
+		}
+		currentScript = prev
+	}
+
+	// First pass: immediate scripts; second pass: scroll-gated scripts.
+	for _, ps := range site.Scripts {
+		if !ps.OnScroll {
+			runScript(ps)
+		}
+	}
+	if cfg.Scroll {
+		for _, ps := range site.Scripts {
+			if ps.OnScroll {
+				runScript(ps)
+			}
+		}
+	}
+	if cfg.VisitInnerPages {
+		for _, ps := range site.InnerScripts {
+			runScript(ps)
+		}
+	}
+	sort.Slice(pr.Extractions, func(i, j int) bool { return pr.Extractions[i].Seq < pr.Extractions[j].Seq })
+	return pr
+}

@@ -1,0 +1,235 @@
+// Package detect implements the fingerprintable-canvas heuristics of
+// §3.2, adapted from Englehardt & Narayanan: an extracted canvas counts
+// as a fingerprinting test canvas unless
+//
+//  1. it was extracted in a lossy format (JPEG/WebP — compression
+//     destroys the sub-pixel detail fingerprinting needs, and excluding
+//     webp also excludes webp-support probes);
+//  2. it is smaller than 16×16 pixels (insufficient complexity; also
+//     excludes emoji probes); or
+//  3. the extracting script also invokes animation-associated methods
+//     (save, restore, …) — image editors and drawing apps, not trackers.
+package detect
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"canvassing/internal/crawler"
+	"canvassing/internal/imaging"
+	"canvassing/internal/web"
+)
+
+// Reason explains why a canvas was excluded.
+type Reason string
+
+// Exclusion reasons.
+const (
+	// None marks fingerprintable canvases.
+	None Reason = ""
+	// LossyFormat marks JPEG/WebP extractions.
+	LossyFormat Reason = "lossy-format"
+	// SmallCanvas marks extractions under 16×16 px.
+	SmallCanvas Reason = "small-canvas"
+	// AnimationScript marks extractions from scripts that also call
+	// animation-associated methods.
+	AnimationScript Reason = "animation-script"
+	// Undecodable marks extractions whose payload could not be parsed.
+	Undecodable Reason = "undecodable"
+)
+
+// animationMembers are the context members whose use marks a script as an
+// animation/drawing app rather than a fingerprinter.
+var animationMembers = []string{"save", "restore"}
+
+// minDimension is the smallest canvas side considered fingerprintable.
+const minDimension = 16
+
+// CanvasInfo is one analyzed extraction event.
+type CanvasInfo struct {
+	// ScriptURL attributes the extraction.
+	ScriptURL string
+	// DataURL is the raw extracted value.
+	DataURL string
+	// Hash is the SHA-256 of the data URL; identical canvases share it.
+	Hash string
+	// Format and dimensions decoded from the payload.
+	Format imaging.Format
+	W, H   int
+	// Fingerprintable is the heuristics' verdict.
+	Fingerprintable bool
+	// Exclude is the reason when not fingerprintable.
+	Exclude Reason
+}
+
+// SiteCanvases is a page's analyzed extractions.
+type SiteCanvases struct {
+	Domain string
+	Rank   int
+	Cohort web.Cohort
+	// OK mirrors the crawl outcome.
+	OK bool
+	// All lists every extraction in event order.
+	All []CanvasInfo
+}
+
+// Fingerprintable returns the fingerprintable subset of All.
+func (s *SiteCanvases) Fingerprintable() []CanvasInfo {
+	var out []CanvasInfo
+	for _, c := range s.All {
+		if c.Fingerprintable {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasFingerprinting reports whether the site extracted at least one
+// fingerprintable canvas.
+func (s *SiteCanvases) HasFingerprinting() bool {
+	for _, c := range s.All {
+		if c.Fingerprintable {
+			return true
+		}
+	}
+	return false
+}
+
+// FullyExcluded reports whether the site extracted canvases but none were
+// fingerprintable (the A.2 "fully excluded" population).
+func (s *SiteCanvases) FullyExcluded() bool {
+	return len(s.All) > 0 && !s.HasFingerprinting()
+}
+
+// AnalyzePage classifies every extraction of one crawled page.
+func AnalyzePage(p *crawler.PageResult) SiteCanvases {
+	out := SiteCanvases{Domain: p.Domain, Rank: p.Rank, Cohort: p.Cohort, OK: p.OK}
+	animScripts := map[string]bool{}
+	for url, methods := range p.ScriptMethods {
+		for _, m := range animationMembers {
+			if methods[m] {
+				animScripts[url] = true
+			}
+		}
+	}
+	for _, e := range p.Extractions {
+		ci := CanvasInfo{
+			ScriptURL: e.ScriptURL,
+			DataURL:   e.DataURL,
+			Hash:      HashDataURL(e.DataURL),
+		}
+		classify(&ci, animScripts[e.ScriptURL])
+		out.All = append(out.All, ci)
+	}
+	return out
+}
+
+// AnalyzeAll classifies every page of a crawl.
+func AnalyzeAll(pages []*crawler.PageResult) []SiteCanvases {
+	out := make([]SiteCanvases, 0, len(pages))
+	for _, p := range pages {
+		out = append(out, AnalyzePage(p))
+	}
+	return out
+}
+
+// HashDataURL returns the canonical canvas identity: SHA-256 over the
+// full data URL.
+func HashDataURL(u string) string {
+	sum := sha256.Sum256([]byte(u))
+	return hex.EncodeToString(sum[:])
+}
+
+// classify applies the three heuristics in order.
+func classify(ci *CanvasInfo, fromAnimScript bool) {
+	format, payload, err := imaging.ParseDataURL(ci.DataURL)
+	if err != nil {
+		ci.Exclude = Undecodable
+		return
+	}
+	ci.Format = format
+	switch format {
+	case imaging.PNG:
+		w, h, err := imaging.PNGSize(payload)
+		if err != nil {
+			ci.Exclude = Undecodable
+			return
+		}
+		ci.W, ci.H = w, h
+	default:
+		// Lossy formats: record dimensions when cheaply available.
+		if img, err := imaging.DecodeWebPSim(payload); err == nil {
+			ci.W, ci.H = img.W, img.H
+		}
+		ci.Exclude = LossyFormat
+		return
+	}
+	if ci.W < minDimension || ci.H < minDimension {
+		ci.Exclude = SmallCanvas
+		return
+	}
+	if fromAnimScript {
+		ci.Exclude = AnimationScript
+		return
+	}
+	ci.Fingerprintable = true
+}
+
+// Stats summarizes detection over a crawl (the §3.2 yield numbers).
+type Stats struct {
+	SitesCrawledOK      int
+	SitesExtracting     int // ≥1 extraction of any kind
+	SitesFingerprinting int // ≥1 fingerprintable canvas
+	SitesFullyExcluded  int // extractions but none fingerprintable
+	TotalExtractions    int
+	Fingerprintable     int
+	ByReason            map[Reason]int
+}
+
+// ComputeStats aggregates detection results.
+func ComputeStats(sites []SiteCanvases) Stats {
+	st := Stats{ByReason: map[Reason]int{}}
+	for i := range sites {
+		s := &sites[i]
+		if !s.OK {
+			continue
+		}
+		st.SitesCrawledOK++
+		if len(s.All) > 0 {
+			st.SitesExtracting++
+		}
+		if s.HasFingerprinting() {
+			st.SitesFingerprinting++
+		}
+		if s.FullyExcluded() {
+			st.SitesFullyExcluded++
+		}
+		for _, c := range s.All {
+			st.TotalExtractions++
+			if c.Fingerprintable {
+				st.Fingerprintable++
+			} else {
+				st.ByReason[c.Exclude]++
+			}
+		}
+	}
+	return st
+}
+
+// FingerprintableFraction returns the §3.2 yield: the fraction of
+// extracted canvases that are fingerprintable (the paper reports 83%).
+func (s Stats) FingerprintableFraction() float64 {
+	if s.TotalExtractions == 0 {
+		return 0
+	}
+	return float64(s.Fingerprintable) / float64(s.TotalExtractions)
+}
+
+// PrevalenceFraction returns the §4.1 headline: the fraction of
+// successfully crawled sites with at least one fingerprintable canvas.
+func (s Stats) PrevalenceFraction() float64 {
+	if s.SitesCrawledOK == 0 {
+		return 0
+	}
+	return float64(s.SitesFingerprinting) / float64(s.SitesCrawledOK)
+}

@@ -1,0 +1,382 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+
+	"canvassing/internal/canvas"
+	"canvassing/internal/jsvm"
+	"canvassing/internal/machine"
+)
+
+func newVM(t *testing.T) (*jsvm.Interp, *Document) {
+	t.Helper()
+	in := jsvm.New(jsvm.Options{RandSeed: 1})
+	doc := NewDocument(machine.Intel(), "example.com")
+	doc.Install(in)
+	return in, doc
+}
+
+func mustRun(t *testing.T, in *jsvm.Interp, src string) jsvm.Value {
+	t.Helper()
+	v, err := in.RunSource(src)
+	if err != nil {
+		t.Fatalf("script failed: %v", err)
+	}
+	return v
+}
+
+func TestCreateCanvasAndDraw(t *testing.T) {
+	in, doc := newVM(t)
+	src := `
+	var c = document.createElement('canvas');
+	c.width = 200;
+	c.height = 50;
+	var ctx = c.getContext('2d');
+	ctx.fillStyle = '#ff6600';
+	ctx.fillRect(10, 10, 50, 20);
+	c.toDataURL()`
+	v := mustRun(t, in, src)
+	if !strings.HasPrefix(v.Str(), "data:image/png;base64,") {
+		t.Fatalf("toDataURL: %.40s", v.Str())
+	}
+	if len(doc.Canvases) != 1 {
+		t.Fatalf("canvas count = %d", len(doc.Canvases))
+	}
+	el := doc.Canvases[0]
+	if el.Image().W != 200 || el.Image().H != 50 {
+		t.Fatal("size attributes")
+	}
+	px := el.Image().At(20, 15)
+	if px.R != 255 || px.G != 102 {
+		t.Fatalf("painted pixel: %v", px)
+	}
+}
+
+func TestFingerprintScriptEndToEnd(t *testing.T) {
+	// A condensed version of the FingerprintJS canvas source.
+	src := `
+	function canvasFingerprint() {
+		var canvas = document.createElement('canvas');
+		canvas.width = 240;
+		canvas.height = 60;
+		var ctx = canvas.getContext('2d');
+		ctx.textBaseline = 'alphabetic';
+		ctx.fillStyle = '#f60';
+		ctx.fillRect(100, 1, 62, 20);
+		ctx.fillStyle = '#069';
+		ctx.font = '11pt Arial';
+		ctx.fillText('Cwm fjordbank glyphs vext quiz', 2, 15);
+		ctx.fillStyle = 'rgba(102, 204, 0, 0.2)';
+		ctx.font = '18pt Arial';
+		ctx.fillText('Cwm fjordbank glyphs vext quiz', 4, 45);
+		return canvas.toDataURL();
+	}
+	canvasFingerprint()`
+	in1, _ := newVM(t)
+	in2, _ := newVM(t)
+	a := mustRun(t, in1, src).Str()
+	b := mustRun(t, in2, src).Str()
+	if a != b {
+		t.Fatal("fingerprint must be deterministic across page loads")
+	}
+	// Different machine → different canvas.
+	in3 := jsvm.New(jsvm.Options{})
+	doc3 := NewDocument(machine.AppleM1(), "example.com")
+	doc3.Install(in3)
+	c := mustRun(t, in3, src).Str()
+	if c == a {
+		t.Fatal("different machine must produce a different canvas")
+	}
+}
+
+func TestTracerSeesScriptActivity(t *testing.T) {
+	in := jsvm.New(jsvm.Options{})
+	doc := NewDocument(machine.Intel(), "example.com")
+	var traced []string
+	doc.Tracer = canvas.TracerFunc(func(iface, member string, args []string, ret string) {
+		traced = append(traced, iface+"."+member)
+	})
+	doc.Install(in)
+	mustRun(t, in, `
+	var c = document.createElement('canvas');
+	var ctx = c.getContext('2d');
+	ctx.fillText('x', 0, 10);
+	c.toDataURL()`)
+	joined := strings.Join(traced, " ")
+	for _, want := range []string{"HTMLCanvasElement.getContext", "CanvasRenderingContext2D.fillText", "HTMLCanvasElement.toDataURL"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %s in trace: %v", want, traced)
+		}
+	}
+}
+
+func TestGetImageDataFromScript(t *testing.T) {
+	in, _ := newVM(t)
+	src := `
+	var c = document.createElement('canvas');
+	c.width = 4; c.height = 4;
+	var ctx = c.getContext('2d');
+	ctx.fillStyle = '#ff0000';
+	ctx.fillRect(0, 0, 4, 4);
+	var d = ctx.getImageData(0, 0, 2, 2);
+	d.data[0] + ',' + d.data[3] + ',' + d.data.length`
+	v := mustRun(t, in, src)
+	if v.Str() != "255,255,16" {
+		t.Fatalf("image data: %s", v.Str())
+	}
+}
+
+func TestPixelHashLoop(t *testing.T) {
+	// Scripts commonly hash pixel data in a loop.
+	in, _ := newVM(t)
+	src := `
+	var c = document.createElement('canvas');
+	c.width = 8; c.height = 8;
+	var ctx = c.getContext('2d');
+	ctx.fillStyle = '#123456';
+	ctx.fillRect(0, 0, 8, 8);
+	var d = ctx.getImageData(0, 0, 8, 8).data;
+	var hash = 0;
+	for (var i = 0; i < d.length; i++) {
+		hash = ((hash << 5) - hash + d[i]) & 0x7fffffff;
+	}
+	hash`
+	v1 := mustRun(t, in, src)
+	in2, _ := newVM(t)
+	v2 := mustRun(t, in2, src)
+	if v1.Num() != v2.Num() {
+		t.Fatal("pixel hash must be stable")
+	}
+	if v1.Num() == 0 {
+		t.Fatal("hash should be nonzero for painted canvas")
+	}
+}
+
+func TestGradientFromScript(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var c = document.createElement('canvas');
+	var ctx = c.getContext('2d');
+	var g = ctx.createLinearGradient(0, 0, 300, 0);
+	g.addColorStop(0, '#000000');
+	g.addColorStop(1, '#ffffff');
+	ctx.fillStyle = g;
+	ctx.fillRect(0, 0, 300, 150);`)
+	img := doc.Canvases[0].Image()
+	if img.At(5, 75).R >= img.At(295, 75).R {
+		t.Fatal("gradient should brighten leftright")
+	}
+}
+
+func TestNavigatorAndWindow(t *testing.T) {
+	in, _ := newVM(t)
+	v := mustRun(t, in, `navigator.userAgent`)
+	if !strings.Contains(v.Str(), "CanvassingCrawler") {
+		t.Fatalf("userAgent: %s", v.Str())
+	}
+	if v := mustRun(t, in, `navigator.webdriver`); v.Bool() {
+		t.Fatal("webdriver must be masked")
+	}
+	if v := mustRun(t, in, `window.location.hostname`); v.Str() != "example.com" {
+		t.Fatalf("hostname: %s", v.Str())
+	}
+	if v := mustRun(t, in, `screen.width * screen.height`); v.Num() != 1920*1080 {
+		t.Fatal("screen dims")
+	}
+}
+
+func TestDocumentDomain(t *testing.T) {
+	in, _ := newVM(t)
+	if v := mustRun(t, in, `document.domain`); v.Str() != "example.com" {
+		t.Fatalf("domain: %s", v.Str())
+	}
+}
+
+func TestNonCanvasElement(t *testing.T) {
+	in, doc := newVM(t)
+	v := mustRun(t, in, `
+	var d = document.createElement('div');
+	d.id = 'x';
+	document.body.appendChild(d);
+	d.tagName`)
+	if v.Str() != "div" {
+		t.Fatalf("tagName: %s", v.Str())
+	}
+	if len(doc.Canvases) != 0 {
+		t.Fatal("div should not create canvases")
+	}
+}
+
+func TestGetElementById(t *testing.T) {
+	in, doc := newVM(t)
+	el := jsvm.String("sentinel")
+	doc.RegisterByID("target", el)
+	if v := mustRun(t, in, `document.getElementById('target')`); v.Str() != "sentinel" {
+		t.Fatal("getElementById")
+	}
+	if v := mustRun(t, in, `document.getElementById('missing') === null`); !v.Bool() {
+		t.Fatal("missing id should be null")
+	}
+}
+
+func TestMeasureTextFromScript(t *testing.T) {
+	in, _ := newVM(t)
+	v := mustRun(t, in, `
+	var ctx = document.createElement('canvas').getContext('2d');
+	ctx.font = '16px Arial';
+	ctx.measureText('mmmm').width > ctx.measureText('iiii').width`)
+	if !v.Bool() {
+		t.Fatal("measureText should reflect glyph widths")
+	}
+}
+
+func TestShadowPropertiesFromScript(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var c = document.createElement('canvas');
+	var ctx = c.getContext('2d');
+	ctx.shadowColor = '#0000ff';
+	ctx.shadowOffsetX = 12;
+	ctx.shadowOffsetY = 12;
+	ctx.fillStyle = '#ff0000';
+	ctx.fillRect(40, 40, 30, 30);`)
+	img := doc.Canvases[0].Image()
+	foundShadow := false
+	for y := 65; y < 85 && !foundShadow; y++ {
+		for x := 65; x < 85; x++ {
+			if px := img.At(x, y); px.B > 100 && px.R < 100 {
+				foundShadow = true
+				break
+			}
+		}
+	}
+	if !foundShadow {
+		t.Fatal("shadow should paint")
+	}
+}
+
+func TestWebGLContextFromScript(t *testing.T) {
+	in, _ := newVM(t)
+	// GPU strings come from the machine profile.
+	v := mustRun(t, in, `
+	var gl = document.createElement('canvas').getContext('webgl');
+	gl.getParameter(gl.UNMASKED_RENDERER_WEBGL)`)
+	if !strings.Contains(v.Str(), "Intel") {
+		t.Fatalf("unmasked renderer: %q", v.Str())
+	}
+	if v := mustRun(t, in, `
+	var gl2 = document.createElement('canvas').getContext('experimental-webgl');
+	gl2.getSupportedExtensions().length > 3`); !v.Bool() {
+		t.Fatal("extensions list")
+	}
+	if v := mustRun(t, in, `'' + document.createElement('canvas').getContext('webgl')`); v.Str() != "[object WebGLRenderingContext]" {
+		t.Fatalf("toString: %s", v.Str())
+	}
+	// Unsupported kinds still yield null.
+	if v := mustRun(t, in, `document.createElement('canvas').getContext('webgl2') === null`); !v.Bool() {
+		t.Fatal("webgl2 unavailable")
+	}
+}
+
+func TestWebGLSceneFingerprint(t *testing.T) {
+	scene := `
+	var c = document.createElement('canvas');
+	c.width = 64; c.height = 48;
+	var gl = c.getContext('webgl');
+	var vs = gl.createShader(gl.VERTEX_SHADER);
+	gl.shaderSource(vs, 'attribute vec2 p; void main(){gl_Position=vec4(p,0,1);}');
+	gl.compileShader(vs);
+	var prog = gl.createProgram();
+	gl.attachShader(prog, vs);
+	gl.linkProgram(prog);
+	gl.useProgram(prog);
+	var buf = gl.createBuffer();
+	gl.bindBuffer(gl.ARRAY_BUFFER, buf);
+	gl.bufferData(gl.ARRAY_BUFFER, [-0.7, -0.6, 0.8, -0.5, 0.0, 0.72], gl.STATIC_DRAW);
+	gl.vertexAttribPointer(0, 2, 0, false, 0, 0);
+	gl.enableVertexAttribArray(0);
+	gl.clearColor(0.1, 0.1, 0.1, 1.0);
+	gl.clear(gl.COLOR_BUFFER_BIT);
+	gl.drawArrays(gl.TRIANGLES, 0, 3);
+	c.toDataURL()`
+	render := func(prof *machine.Profile) string {
+		in := jsvm.New(jsvm.Options{RandSeed: 1})
+		doc := NewDocument(prof, "gl.example")
+		doc.Install(in)
+		v, err := in.RunSource(scene)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Str()
+	}
+	intel1 := render(machine.Intel())
+	intel2 := render(machine.Intel())
+	if intel1 != intel2 {
+		t.Fatal("WebGL scene must be deterministic per machine")
+	}
+	if m1 := render(machine.AppleM1()); m1 == intel1 {
+		t.Fatal("WebGL scene must differ across machines")
+	}
+	if !strings.HasPrefix(intel1, "data:image/png;base64,") {
+		t.Fatal("scene extraction")
+	}
+}
+
+func TestCanvasToString(t *testing.T) {
+	in, _ := newVM(t)
+	if v := mustRun(t, in, `'' + document.createElement('canvas')`); v.Str() != "[object HTMLCanvasElement]" {
+		t.Fatalf("toString: %s", v.Str())
+	}
+}
+
+func TestLineDashFromScript(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var c = document.createElement('canvas');
+	var ctx = c.getContext('2d');
+	ctx.setLineDash([10, 10]);
+	ctx.lineDashOffset = 0;
+	ctx.strokeStyle = '#f00';
+	ctx.lineWidth = 4;
+	ctx.beginPath();
+	ctx.moveTo(0, 75);
+	ctx.lineTo(300, 75);
+	ctx.stroke();`)
+	img := doc.Canvases[0].Image()
+	if img.At(5, 75).A == 0 || img.At(15, 75).A != 0 {
+		t.Fatal("dashes should alternate")
+	}
+	if v := mustRun(t, in, `
+	var c2 = document.createElement('canvas');
+	var x2 = c2.getContext('2d');
+	x2.setLineDash([4, 2]);
+	x2.getLineDash().join(',')`); v.Str() != "4,2" {
+		t.Fatalf("getLineDash: %s", v.Str())
+	}
+}
+
+func TestArcToAndIsPointInPathFromScript(t *testing.T) {
+	in, _ := newVM(t)
+	v := mustRun(t, in, `
+	var c = document.createElement('canvas');
+	var ctx = c.getContext('2d');
+	ctx.beginPath();
+	ctx.moveTo(20, 20);
+	ctx.arcTo(150, 20, 150, 70, 30);
+	ctx.lineTo(150, 120);
+	ctx.lineTo(20, 120);
+	ctx.closePath();
+	ctx.isPointInPath(80, 70) + ':' + ctx.isPointInPath(5, 5)`)
+	if v.Str() != "true:false" {
+		t.Fatalf("isPointInPath via script: %s", v.Str())
+	}
+}
+
+func TestSetTimeoutRunsNothing(t *testing.T) {
+	in, _ := newVM(t)
+	// setTimeout returns a timer id but does not run the callback.
+	if v := mustRun(t, in, `var hit = 0; window.setTimeout(function(){ hit = 1; }, 0); hit`); v.Num() != 0 {
+		t.Fatal("setTimeout callback must not run synchronously in this model")
+	}
+}

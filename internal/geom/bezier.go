@@ -1,0 +1,127 @@
+package geom
+
+import "math"
+
+// FlattenQuad appends a polyline approximation of the quadratic Bézier
+// curve (p0, p1, p2) to dst, excluding p0 and including p2. The tolerance
+// tol is the maximum allowed deviation in user-space units; smaller values
+// produce more segments.
+func FlattenQuad(dst []Point, p0, p1, p2 Point, tol float64) []Point {
+	n := quadSegments(p0, p1, p2, tol)
+	for i := 1; i <= n; i++ {
+		t := float64(i) / float64(n)
+		a := Lerp(p0, p1, t)
+		b := Lerp(p1, p2, t)
+		dst = append(dst, Lerp(a, b, t))
+	}
+	return dst
+}
+
+// quadSegments estimates the number of line segments needed to keep the
+// flattening error of a quadratic curve under tol.
+func quadSegments(p0, p1, p2 Point, tol float64) int {
+	// The max deviation of a quadratic from its chord is |d|/4 where d is
+	// the distance from the control point to the chord midpoint direction.
+	d := p1.Sub(Lerp(p0, p2, 0.5)).Len() / 4
+	return segmentsForError(d, tol)
+}
+
+// FlattenCubic appends a polyline approximation of the cubic Bézier curve
+// (p0, p1, p2, p3) to dst, excluding p0 and including p3.
+func FlattenCubic(dst []Point, p0, p1, p2, p3 Point, tol float64) []Point {
+	// Error bound via control-polygon deviation from the chord.
+	d1 := p1.Sub(Lerp(p0, p3, 1.0/3)).Len()
+	d2 := p2.Sub(Lerp(p0, p3, 2.0/3)).Len()
+	n := segmentsForError(3*math.Max(d1, d2)/4, tol)
+	for i := 1; i <= n; i++ {
+		t := float64(i) / float64(n)
+		a := Lerp(p0, p1, t)
+		b := Lerp(p1, p2, t)
+		c := Lerp(p2, p3, t)
+		ab := Lerp(a, b, t)
+		bc := Lerp(b, c, t)
+		dst = append(dst, Lerp(ab, bc, t))
+	}
+	return dst
+}
+
+// segmentsForError converts a deviation estimate into a segment count,
+// clamped to [1, 128].
+func segmentsForError(dev, tol float64) int {
+	if tol <= 0 {
+		tol = 0.25
+	}
+	if dev <= tol {
+		return 1
+	}
+	n := int(math.Ceil(math.Sqrt(dev / tol * 4)))
+	if n < 1 {
+		n = 1
+	}
+	if n > 128 {
+		n = 128
+	}
+	return n
+}
+
+// FlattenArc appends a polyline approximation of a circular arc centered at
+// c with the given radius from angle a0 to a1 (radians) to dst. If ccw is
+// true the arc runs counter-clockwise. The first point of the arc IS
+// appended, matching the Canvas arc() semantics where a line connects the
+// current point to the arc start.
+func FlattenArc(dst []Point, c Point, radius, a0, a1 float64, ccw bool, tol float64) []Point {
+	if radius < 0 {
+		radius = 0
+	}
+	sweep := normalizeSweep(a0, a1, ccw)
+	// Segment count from sagitta error: err = r(1-cos(step/2)) <= tol.
+	n := 4
+	if radius > 0 {
+		if tol <= 0 {
+			tol = 0.25
+		}
+		maxStep := 2 * math.Acos(math.Max(0, 1-tol/radius))
+		if maxStep > 0 {
+			n = int(math.Ceil(math.Abs(sweep) / maxStep))
+		}
+	}
+	if n < 2 {
+		n = 2
+	}
+	if n > 256 {
+		n = 256
+	}
+	for i := 0; i <= n; i++ {
+		t := a0 + sweep*float64(i)/float64(n)
+		s, co := math.Sincos(t)
+		dst = append(dst, Point{c.X + radius*co, c.Y + radius*s})
+	}
+	return dst
+}
+
+// normalizeSweep returns the signed sweep angle from a0 to a1 honoring the
+// Canvas arc direction rules: a full circle is produced when the angular
+// distance meets or exceeds 2π, otherwise angles are normalized into a
+// single revolution in the requested direction.
+func normalizeSweep(a0, a1 float64, ccw bool) float64 {
+	const tau = 2 * math.Pi
+	d := a1 - a0
+	if !ccw {
+		if d >= tau {
+			return tau
+		}
+		d = math.Mod(d, tau)
+		if d < 0 {
+			d += tau
+		}
+		return d
+	}
+	if d <= -tau {
+		return -tau
+	}
+	d = math.Mod(d, tau)
+	if d > 0 {
+		d -= tau
+	}
+	return d
+}

@@ -1,0 +1,211 @@
+// Package geom provides the 2-D geometric primitives used by the software
+// rasterizer and the Canvas API layer: points, rectangles, affine
+// transforms, and Bézier-curve flattening.
+//
+// All coordinates are float64 in user space; the rasterizer converts to
+// device pixels at scanline time. The affine transform follows the HTML
+// Canvas convention [a b c d e f]:
+//
+//	x' = a*x + c*y + e
+//	y' = b*x + d*y + f
+package geom
+
+import "math"
+
+// Point is a position or vector in user space.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Mul returns p scaled by k.
+func (p Point) Mul(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Len returns the Euclidean length of p as a vector.
+func (p Point) Len() float64 { return math.Hypot(p.X, p.Y) }
+
+// Normalize returns p scaled to unit length, or the zero point if p is zero.
+func (p Point) Normalize() Point {
+	l := p.Len()
+	if l == 0 {
+		return Point{}
+	}
+	return Point{p.X / l, p.Y / l}
+}
+
+// Perp returns p rotated 90 degrees counter-clockwise.
+func (p Point) Perp() Point { return Point{-p.Y, p.X} }
+
+// Lerp returns the linear interpolation between p and q at parameter t.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Rect is an axis-aligned rectangle. Min is inclusive, Max exclusive.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectWH returns the rectangle with origin (x, y) and the given size.
+// Negative sizes are normalized so Min <= Max holds.
+func RectWH(x, y, w, h float64) Rect {
+	r := Rect{Point{x, y}, Point{x + w, y + h}}
+	return r.Canon()
+}
+
+// Canon returns r with Min and Max swapped per axis as needed.
+func (r Rect) Canon() Rect {
+	if r.Min.X > r.Max.X {
+		r.Min.X, r.Max.X = r.Max.X, r.Min.X
+	}
+	if r.Min.Y > r.Max.Y {
+		r.Min.Y, r.Max.Y = r.Max.Y, r.Min.Y
+	}
+	return r
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and s.
+// If either is empty, the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Intersect returns the overlap of r and s, which may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// ExpandToInclude grows r to include p.
+func (r Rect) ExpandToInclude(p Point) Rect {
+	if r.Empty() {
+		return Rect{p, Point{p.X + 1e-12, p.Y + 1e-12}}
+	}
+	if p.X < r.Min.X {
+		r.Min.X = p.X
+	}
+	if p.Y < r.Min.Y {
+		r.Min.Y = p.Y
+	}
+	if p.X > r.Max.X {
+		r.Max.X = p.X
+	}
+	if p.Y > r.Max.Y {
+		r.Max.Y = p.Y
+	}
+	return r
+}
+
+// Matrix is a 2-D affine transform in HTML Canvas [a b c d e f] form.
+type Matrix struct {
+	A, B, C, D, E, F float64
+}
+
+// Identity returns the identity transform.
+func Identity() Matrix { return Matrix{A: 1, D: 1} }
+
+// Translate returns m composed with a translation by (tx, ty), matching
+// the Canvas ctx.translate semantics (new transform applied first).
+func (m Matrix) Translate(tx, ty float64) Matrix {
+	return m.Mul(Matrix{A: 1, D: 1, E: tx, F: ty})
+}
+
+// Scale returns m composed with a scale by (sx, sy).
+func (m Matrix) Scale(sx, sy float64) Matrix {
+	return m.Mul(Matrix{A: sx, D: sy})
+}
+
+// Rotate returns m composed with a rotation by theta radians.
+func (m Matrix) Rotate(theta float64) Matrix {
+	s, c := math.Sincos(theta)
+	return m.Mul(Matrix{A: c, B: s, C: -s, D: c})
+}
+
+// Mul returns the composition m ∘ n: applying the result is equivalent to
+// applying n first, then m.
+func (m Matrix) Mul(n Matrix) Matrix {
+	return Matrix{
+		A: m.A*n.A + m.C*n.B,
+		B: m.B*n.A + m.D*n.B,
+		C: m.A*n.C + m.C*n.D,
+		D: m.B*n.C + m.D*n.D,
+		E: m.A*n.E + m.C*n.F + m.E,
+		F: m.B*n.E + m.D*n.F + m.F,
+	}
+}
+
+// Apply transforms p by m.
+func (m Matrix) Apply(p Point) Point {
+	return Point{
+		X: m.A*p.X + m.C*p.Y + m.E,
+		Y: m.B*p.X + m.D*p.Y + m.F,
+	}
+}
+
+// IsIdentity reports whether m is exactly the identity transform.
+func (m Matrix) IsIdentity() bool {
+	return m == Matrix{A: 1, D: 1}
+}
+
+// Det returns the determinant of the linear part of m.
+func (m Matrix) Det() float64 { return m.A*m.D - m.B*m.C }
+
+// Invert returns the inverse transform and whether m is invertible.
+func (m Matrix) Invert() (Matrix, bool) {
+	det := m.Det()
+	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+		return Matrix{}, false
+	}
+	inv := 1 / det
+	return Matrix{
+		A: m.D * inv,
+		B: -m.B * inv,
+		C: -m.C * inv,
+		D: m.A * inv,
+		E: (m.C*m.F - m.D*m.E) * inv,
+		F: (m.B*m.E - m.A*m.F) * inv,
+	}, true
+}

@@ -1,0 +1,306 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func pointsClose(a, b Point, eps float64) bool {
+	return math.Abs(a.X-b.X) < eps && math.Abs(a.Y-b.Y) < eps
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, 2)
+	if p.Add(q) != Pt(4, 6) {
+		t.Fatal("Add")
+	}
+	if p.Sub(q) != Pt(2, 2) {
+		t.Fatal("Sub")
+	}
+	if p.Mul(2) != Pt(6, 8) {
+		t.Fatal("Mul")
+	}
+	if !almostEq(p.Len(), 5) {
+		t.Fatal("Len")
+	}
+	if !almostEq(p.Dot(q), 11) {
+		t.Fatal("Dot")
+	}
+	if !almostEq(p.Cross(q), 2) {
+		t.Fatal("Cross")
+	}
+	if p.Perp() != Pt(-4, 3) {
+		t.Fatal("Perp")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Pt(3, 4).Normalize()
+	if !almostEq(n.Len(), 1) {
+		t.Fatalf("unit length, got %v", n.Len())
+	}
+	if (Point{}).Normalize() != (Point{}) {
+		t.Fatal("zero vector should normalize to zero")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(Pt(0, 0), Pt(10, 20), 0.5) != Pt(5, 10) {
+		t.Fatal("midpoint")
+	}
+	if Lerp(Pt(1, 1), Pt(2, 2), 0) != Pt(1, 1) {
+		t.Fatal("t=0")
+	}
+	if Lerp(Pt(1, 1), Pt(2, 2), 1) != Pt(2, 2) {
+		t.Fatal("t=1")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(10, 20, 30, 40)
+	if r.W() != 30 || r.H() != 40 {
+		t.Fatalf("size: %v x %v", r.W(), r.H())
+	}
+	if !r.Contains(Pt(10, 20)) || r.Contains(Pt(40, 60)) {
+		t.Fatal("containment half-open semantics")
+	}
+	neg := RectWH(10, 10, -5, -5)
+	if neg.Min != Pt(5, 5) || neg.Max != Pt(10, 10) {
+		t.Fatalf("negative size not canonicalized: %+v", neg)
+	}
+	if !(Rect{}).Empty() {
+		t.Fatal("zero rect should be empty")
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(5, 5, 10, 10)
+	u := a.Union(b)
+	if u != RectWH(0, 0, 15, 15) {
+		t.Fatalf("union = %+v", u)
+	}
+	i := a.Intersect(b)
+	if i != RectWH(5, 5, 5, 5) {
+		t.Fatalf("intersect = %+v", i)
+	}
+	if !a.Intersect(RectWH(20, 20, 5, 5)).Empty() {
+		t.Fatal("disjoint intersect should be empty")
+	}
+	if a.Union(Rect{}) != a {
+		t.Fatal("union with empty")
+	}
+}
+
+func TestExpandToInclude(t *testing.T) {
+	r := Rect{}
+	r = r.ExpandToInclude(Pt(5, 5))
+	r = r.ExpandToInclude(Pt(-1, 10))
+	if !r.Contains(Pt(5, 5)) && r.Max.X < 5 {
+		t.Fatalf("expand failed: %+v", r)
+	}
+	if r.Min.X != -1 || r.Max.Y != 10 {
+		t.Fatalf("expand bounds: %+v", r)
+	}
+}
+
+func TestMatrixIdentity(t *testing.T) {
+	m := Identity()
+	if !m.IsIdentity() {
+		t.Fatal("IsIdentity")
+	}
+	p := Pt(7, -3)
+	if m.Apply(p) != p {
+		t.Fatal("identity apply")
+	}
+}
+
+func TestMatrixTranslateScaleRotate(t *testing.T) {
+	m := Identity().Translate(10, 20)
+	if m.Apply(Pt(1, 1)) != Pt(11, 21) {
+		t.Fatal("translate")
+	}
+	m = Identity().Scale(2, 3)
+	if m.Apply(Pt(1, 1)) != Pt(2, 3) {
+		t.Fatal("scale")
+	}
+	m = Identity().Rotate(math.Pi / 2)
+	got := m.Apply(Pt(1, 0))
+	if !pointsClose(got, Pt(0, 1), 1e-12) {
+		t.Fatalf("rotate: %+v", got)
+	}
+}
+
+func TestMatrixCompositionOrder(t *testing.T) {
+	// Canvas semantics: translate then scale means scale is applied to
+	// points first.
+	m := Identity().Translate(10, 0).Scale(2, 2)
+	if m.Apply(Pt(1, 1)) != Pt(12, 2) {
+		t.Fatalf("composition order: %+v", m.Apply(Pt(1, 1)))
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	m := Identity().Translate(3, 4).Rotate(0.7).Scale(2, 5)
+	inv, ok := m.Invert()
+	if !ok {
+		t.Fatal("should be invertible")
+	}
+	p := Pt(11, -2)
+	back := inv.Apply(m.Apply(p))
+	if !pointsClose(back, p, 1e-9) {
+		t.Fatalf("roundtrip: %+v", back)
+	}
+	if _, ok := (Matrix{}).Invert(); ok {
+		t.Fatal("singular matrix should not invert")
+	}
+}
+
+func TestMatrixInvertProperty(t *testing.T) {
+	f := func(a, b, c, d, e, fv float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 100)
+		}
+		m := Matrix{clamp(a), clamp(b), clamp(c), clamp(d), clamp(e), clamp(fv)}
+		if math.Abs(m.Det()) < 1e-6 {
+			return true
+		}
+		inv, ok := m.Invert()
+		if !ok {
+			return false
+		}
+		p := Pt(3, -7)
+		return pointsClose(inv.Apply(m.Apply(p)), p, 1e-6*(1+math.Abs(1/m.Det())))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenQuadEndpoints(t *testing.T) {
+	pts := FlattenQuad(nil, Pt(0, 0), Pt(5, 10), Pt(10, 0), 0.1)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	last := pts[len(pts)-1]
+	if !pointsClose(last, Pt(10, 0), 1e-9) {
+		t.Fatalf("must end at p2, got %+v", last)
+	}
+	// Straight "curve" should need only one segment.
+	straight := FlattenQuad(nil, Pt(0, 0), Pt(5, 0), Pt(10, 0), 0.1)
+	if len(straight) != 1 {
+		t.Fatalf("straight quad should be 1 segment, got %d", len(straight))
+	}
+}
+
+func TestFlattenQuadAccuracy(t *testing.T) {
+	p0, p1, p2 := Pt(0, 0), Pt(50, 100), Pt(100, 0)
+	pts := FlattenQuad(nil, p0, p1, p2, 0.1)
+	// Every flattened point must be close to some exact curve point.
+	for _, fp := range pts {
+		best := math.Inf(1)
+		for i := 0; i <= 1000; i++ {
+			tt := float64(i) / 1000
+			a := Lerp(p0, p1, tt)
+			b := Lerp(p1, p2, tt)
+			d := Lerp(a, b, tt).Sub(fp).Len()
+			if d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Fatalf("flattened point %v deviates %v from curve", fp, best)
+		}
+	}
+}
+
+func TestFlattenCubicEndpoints(t *testing.T) {
+	pts := FlattenCubic(nil, Pt(0, 0), Pt(0, 10), Pt(10, 10), Pt(10, 0), 0.1)
+	last := pts[len(pts)-1]
+	if !pointsClose(last, Pt(10, 0), 1e-9) {
+		t.Fatalf("must end at p3, got %+v", last)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("curved cubic should flatten to several segments, got %d", len(pts))
+	}
+}
+
+func TestFlattenArcFullCircle(t *testing.T) {
+	pts := FlattenArc(nil, Pt(0, 0), 10, 0, 2*math.Pi, false, 0.05)
+	for _, p := range pts {
+		if !almostEq2(p.Len(), 10, 1e-6) {
+			t.Fatalf("arc point off circle: %v (r=%v)", p, p.Len())
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if !pointsClose(first, last, 1e-6) {
+		t.Fatalf("full circle should close: %v vs %v", first, last)
+	}
+}
+
+func almostEq2(a, b, eps float64) bool { return math.Abs(a-b) < eps }
+
+func TestFlattenArcDirections(t *testing.T) {
+	// Clockwise (canvas default, ccw=false) quarter arc from 0 to π/2.
+	cw := FlattenArc(nil, Pt(0, 0), 1, 0, math.Pi/2, false, 0.01)
+	if !pointsClose(cw[0], Pt(1, 0), 1e-9) {
+		t.Fatalf("arc start: %v", cw[0])
+	}
+	if !pointsClose(cw[len(cw)-1], Pt(0, 1), 1e-9) {
+		t.Fatalf("arc end: %v", cw[len(cw)-1])
+	}
+	// Counter-clockwise from 0 to π/2 should sweep the long way (3π/2).
+	ccw := FlattenArc(nil, Pt(0, 0), 1, 0, math.Pi/2, true, 0.01)
+	if len(ccw) < len(cw) {
+		t.Fatal("ccw long-way arc should have more segments")
+	}
+}
+
+func TestNormalizeSweep(t *testing.T) {
+	if got := normalizeSweep(0, 2*math.Pi, false); !almostEq(got, 2*math.Pi) {
+		t.Fatalf("full cw sweep: %v", got)
+	}
+	if got := normalizeSweep(0, -math.Pi/2, false); !almostEq(got, 3*math.Pi/2) {
+		t.Fatalf("cw wrap: %v", got)
+	}
+	if got := normalizeSweep(0, math.Pi/2, true); !almostEq(got, -3*math.Pi/2) {
+		t.Fatalf("ccw wrap: %v", got)
+	}
+	if got := normalizeSweep(0, -2*math.Pi, true); !almostEq(got, -2*math.Pi) {
+		t.Fatalf("full ccw sweep: %v", got)
+	}
+}
+
+func TestFlattenArcNegativeRadius(t *testing.T) {
+	pts := FlattenArc(nil, Pt(5, 5), -3, 0, 1, false, 0.1)
+	for _, p := range pts {
+		if !pointsClose(p, Pt(5, 5), 1e-9) {
+			t.Fatalf("negative radius should clamp to center: %v", p)
+		}
+	}
+}
+
+func BenchmarkFlattenCubic(b *testing.B) {
+	var buf []Point
+	for i := 0; i < b.N; i++ {
+		buf = FlattenCubic(buf[:0], Pt(0, 0), Pt(30, 90), Pt(70, 90), Pt(100, 0), 0.25)
+	}
+}
+
+func BenchmarkMatrixApply(b *testing.B) {
+	m := Identity().Translate(3, 4).Rotate(0.5).Scale(2, 2)
+	p := Pt(10, 20)
+	for i := 0; i < b.N; i++ {
+		p = m.Apply(p)
+		if p.X > 1e9 {
+			p = Pt(10, 20)
+		}
+	}
+}

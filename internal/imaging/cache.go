@@ -1,0 +1,80 @@
+package imaging
+
+import (
+	"canvassing/internal/raster"
+
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Encoding the same pixels to PNG thousands of times dominates crawl
+// cost: a vendor's test canvas is byte-identical on every customer site,
+// so its encoded form can be computed once. The cache is content
+// addressed (SHA-256 over pixels + format + quality), which makes a
+// false hit cryptographically implausible, and bounded by wholesale
+// eviction — the working set of distinct canvases in a crawl is small.
+
+var (
+	encodeCacheOn atomic.Bool
+	encodeMu      sync.RWMutex
+	encodeCache   = map[[32]byte][]byte{}
+)
+
+// encodeCacheLimit bounds the number of cached encodings.
+const encodeCacheLimit = 8192
+
+func init() { encodeCacheOn.Store(true) }
+
+// SetEncodeCacheEnabled toggles the content-addressed encode cache
+// (the render-cache ablation). It returns the previous setting.
+func SetEncodeCacheEnabled(on bool) bool {
+	prev := encodeCacheOn.Swap(on)
+	if !on {
+		encodeMu.Lock()
+		encodeCache = map[[32]byte][]byte{}
+		encodeMu.Unlock()
+	}
+	return prev
+}
+
+// EncodeCached is Encode with the content-addressed cache applied.
+// Callers must not mutate the returned slice.
+func EncodeCached(img *raster.Image, f Format, quality float64) ([]byte, error) {
+	if !encodeCacheOn.Load() {
+		return Encode(img, f, quality)
+	}
+	key := encodeKey(img, f, quality)
+	encodeMu.RLock()
+	data, ok := encodeCache[key]
+	encodeMu.RUnlock()
+	if ok {
+		return data, nil
+	}
+	data, err := Encode(img, f, quality)
+	if err != nil {
+		return nil, err
+	}
+	encodeMu.Lock()
+	if len(encodeCache) >= encodeCacheLimit {
+		encodeCache = map[[32]byte][]byte{}
+	}
+	encodeCache[key] = data
+	encodeMu.Unlock()
+	return data, nil
+}
+
+func encodeKey(img *raster.Image, f Format, quality float64) [32]byte {
+	h := sha256.New()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(img.W))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(img.H))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(int64(quality*10000)))
+	h.Write(hdr[:])
+	h.Write([]byte(f))
+	h.Write(img.Pix)
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,116 @@
+package imaging
+
+import (
+	"bytes"
+	"testing"
+
+	"canvassing/internal/raster"
+)
+
+func cacheTestImage(fill uint8) *raster.Image {
+	img := raster.NewImage(64, 32)
+	for i := range img.Pix {
+		img.Pix[i] = fill + uint8(i%7)
+	}
+	return img
+}
+
+func TestEncodeCachedMatchesEncode(t *testing.T) {
+	defer SetEncodeCacheEnabled(SetEncodeCacheEnabled(true))
+	img := cacheTestImage(10)
+	for _, f := range []Format{PNG, JPEG, WebP} {
+		want, err := Encode(img, f, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EncodeCached(img, f, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: cached encode differs", f)
+		}
+		// Second call hits the cache and must return identical bytes.
+		got2, _ := EncodeCached(img, f, 0.9)
+		if !bytes.Equal(want, got2) {
+			t.Fatalf("%s: cache hit differs", f)
+		}
+	}
+}
+
+func TestEncodeCachedKeySensitivity(t *testing.T) {
+	defer SetEncodeCacheEnabled(SetEncodeCacheEnabled(true))
+	a, _ := EncodeCached(cacheTestImage(1), PNG, 0)
+	b, _ := EncodeCached(cacheTestImage(2), PNG, 0)
+	if bytes.Equal(a, b) {
+		t.Fatal("different pixels must not collide")
+	}
+	png, _ := EncodeCached(cacheTestImage(3), PNG, 0)
+	webp, _ := EncodeCached(cacheTestImage(3), WebP, 0)
+	if bytes.Equal(png, webp) {
+		t.Fatal("different formats must not collide")
+	}
+	q1, _ := EncodeCached(cacheTestImage(4), WebP, 0.9)
+	q2, _ := EncodeCached(cacheTestImage(4), WebP, 0.2)
+	if bytes.Equal(q1, q2) {
+		t.Fatal("different qualities must not collide")
+	}
+}
+
+func TestEncodeCacheDisable(t *testing.T) {
+	prev := SetEncodeCacheEnabled(false)
+	defer SetEncodeCacheEnabled(prev)
+	img := cacheTestImage(9)
+	a, err := EncodeCached(img, PNG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Encode(img, PNG, 0)
+	if !bytes.Equal(a, b) {
+		t.Fatal("disabled cache must fall through to Encode")
+	}
+}
+
+func TestEncodeCacheEviction(t *testing.T) {
+	defer SetEncodeCacheEnabled(SetEncodeCacheEnabled(true))
+	// Fill past the limit; the map must be bounded, not grow forever.
+	for i := 0; i < encodeCacheLimit+10; i++ {
+		img := raster.NewImage(2, 2)
+		img.Pix[0] = uint8(i)
+		img.Pix[1] = uint8(i >> 8)
+		if _, err := EncodeCached(img, PNG, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encodeMu.RLock()
+	n := len(encodeCache)
+	encodeMu.RUnlock()
+	if n > encodeCacheLimit {
+		t.Fatalf("cache grew past limit: %d", n)
+	}
+}
+
+func BenchmarkEncodeCacheHit(b *testing.B) {
+	defer SetEncodeCacheEnabled(SetEncodeCacheEnabled(true))
+	img := cacheTestImage(42)
+	if _, err := EncodeCached(img, PNG, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeCached(img, PNG, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeCacheMissVsRaw(b *testing.B) {
+	img := cacheTestImage(42)
+	b.Run("raw-encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Encode(img, PNG, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

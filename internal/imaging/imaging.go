@@ -1,0 +1,152 @@
+// Package imaging converts raster images to the encoded forms the Canvas
+// toDataURL API exposes, and parses them back for analysis.
+//
+// PNG and JPEG use the standard library codecs. WebP has no stdlib encoder,
+// so a stand-in lossy codec is provided: it chroma-quantizes pixels and
+// wraps them in a RIFF/WEBP-tagged container. For this study only two
+// properties of webp matter — that it is recognizably a distinct MIME type
+// (webp-support probes are a benign toDataURL use the detector must
+// exclude) and that it is lossy (compression destroys the sub-pixel detail
+// fingerprinting needs, which is why the paper excludes lossy formats).
+// The stand-in preserves both.
+package imaging
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"image/jpeg"
+	"image/png"
+	"strings"
+
+	"canvassing/internal/raster"
+)
+
+// Format identifies an encoding for canvas extraction.
+type Format string
+
+// Formats accepted by toDataURL in this implementation.
+const (
+	PNG  Format = "image/png"
+	JPEG Format = "image/jpeg"
+	WebP Format = "image/webp"
+)
+
+// ParseFormat normalizes a toDataURL type argument. Unknown or empty types
+// fall back to PNG, as the Canvas spec requires.
+func ParseFormat(s string) Format {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "image/jpeg", "image/jpg":
+		return JPEG
+	case "image/webp":
+		return WebP
+	default:
+		return PNG
+	}
+}
+
+// Lossy reports whether the format discards pixel detail.
+func (f Format) Lossy() bool { return f == JPEG || f == WebP }
+
+// Encode serializes img in the given format. Quality (0..1) applies to
+// lossy formats only; values <= 0 select the Canvas default of 0.92.
+func Encode(img *raster.Image, f Format, quality float64) ([]byte, error) {
+	switch f {
+	case JPEG:
+		q := int(qualityOrDefault(quality) * 100)
+		var buf bytes.Buffer
+		if err := jpeg.Encode(&buf, img.ToStdImage(), &jpeg.Options{Quality: q}); err != nil {
+			return nil, fmt.Errorf("imaging: jpeg encode: %w", err)
+		}
+		return buf.Bytes(), nil
+	case WebP:
+		return encodeWebPSim(img, qualityOrDefault(quality)), nil
+	default:
+		var buf bytes.Buffer
+		if err := png.Encode(&buf, img.ToStdImage()); err != nil {
+			return nil, fmt.Errorf("imaging: png encode: %w", err)
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+func qualityOrDefault(q float64) float64 {
+	if q <= 0 || q > 1 {
+		return 0.92
+	}
+	return q
+}
+
+// encodeWebPSim produces the stand-in lossy webp container: RIFF header,
+// "WEBP" tag, dimensions, and pixel data quantized per channel. The
+// quantization step grows as quality drops.
+func encodeWebPSim(img *raster.Image, quality float64) []byte {
+	step := uint8(1 + (1-quality)*24) // q=0.92 → step 2
+	var buf bytes.Buffer
+	buf.WriteString("RIFF")
+	sizePos := buf.Len()
+	buf.Write(make([]byte, 4))  // patched below
+	buf.WriteString("WEBPVP8S") // "VP8S": simulated bitstream chunk tag
+	var dims [8]byte
+	binary.LittleEndian.PutUint32(dims[0:], uint32(img.W))
+	binary.LittleEndian.PutUint32(dims[4:], uint32(img.H))
+	buf.Write(dims[:])
+	buf.WriteByte(step)
+	for _, p := range img.Pix {
+		buf.WriteByte(p - p%step)
+	}
+	out := buf.Bytes()
+	binary.LittleEndian.PutUint32(out[sizePos:], uint32(len(out)-8))
+	return out
+}
+
+// DecodeWebPSim recovers the (quantized) image from the stand-in codec.
+func DecodeWebPSim(data []byte) (*raster.Image, error) {
+	const hdr = 4 + 4 + 8 + 8 + 1
+	if len(data) < hdr || string(data[0:4]) != "RIFF" || string(data[8:16]) != "WEBPVP8S" {
+		return nil, errors.New("imaging: not a simulated webp stream")
+	}
+	w := int(binary.LittleEndian.Uint32(data[16:]))
+	h := int(binary.LittleEndian.Uint32(data[20:]))
+	if w < 0 || h < 0 || w*h*4 != len(data)-hdr {
+		return nil, errors.New("imaging: corrupt simulated webp stream")
+	}
+	img := raster.NewImage(w, h)
+	copy(img.Pix, data[hdr:])
+	return img, nil
+}
+
+// DataURL wraps encoded bytes in the data: URL form toDataURL returns.
+func DataURL(f Format, data []byte) string {
+	return "data:" + string(f) + ";base64," + base64.StdEncoding.EncodeToString(data)
+}
+
+// ParseDataURL splits a data: URL into its format and decoded payload.
+func ParseDataURL(u string) (Format, []byte, error) {
+	rest, ok := strings.CutPrefix(u, "data:")
+	if !ok {
+		return "", nil, errors.New("imaging: not a data URL")
+	}
+	mime, payload, ok := strings.Cut(rest, ";base64,")
+	if !ok {
+		return "", nil, errors.New("imaging: missing base64 marker")
+	}
+	data, err := base64.StdEncoding.DecodeString(payload)
+	if err != nil {
+		return "", nil, fmt.Errorf("imaging: base64: %w", err)
+	}
+	return Format(mime), data, nil
+}
+
+// PNGSize reads the dimensions from an encoded PNG without a full decode.
+func PNGSize(data []byte) (w, h int, err error) {
+	// 8-byte signature, 4-byte length, "IHDR", then width/height.
+	if len(data) < 24 || string(data[12:16]) != "IHDR" {
+		return 0, 0, errors.New("imaging: not a PNG")
+	}
+	w = int(binary.BigEndian.Uint32(data[16:20]))
+	h = int(binary.BigEndian.Uint32(data[20:24]))
+	return w, h, nil
+}

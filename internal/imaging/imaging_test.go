@@ -1,0 +1,234 @@
+package imaging
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"canvassing/internal/raster"
+)
+
+func testImage() *raster.Image {
+	img := raster.NewImage(20, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 20; x++ {
+			img.Set(x, y, raster.RGBA{R: uint8(x * 12), G: uint8(y * 25), B: 77, A: 255})
+		}
+	}
+	return img
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"image/png":  PNG,
+		"image/jpeg": JPEG,
+		"image/jpg":  JPEG,
+		"image/webp": WebP,
+		"":           PNG,
+		"image/gif":  PNG, // unsupported falls back to png per spec
+		"IMAGE/WEBP": WebP,
+	}
+	for in, want := range cases {
+		if got := ParseFormat(in); got != want {
+			t.Fatalf("ParseFormat(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLossy(t *testing.T) {
+	if PNG.Lossy() {
+		t.Fatal("png is lossless")
+	}
+	if !JPEG.Lossy() || !WebP.Lossy() {
+		t.Fatal("jpeg and webp are lossy")
+	}
+}
+
+func TestEncodePNGRoundtrip(t *testing.T) {
+	img := testImage()
+	data, err := Encode(img, PNG, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 20 || decoded.Bounds().Dy() != 10 {
+		t.Fatal("dimension mismatch")
+	}
+	r, g, _, _ := decoded.At(5, 2).RGBA()
+	if uint8(r>>8) != 60 || uint8(g>>8) != 50 {
+		t.Fatalf("pixel mismatch: r=%d g=%d", r>>8, g>>8)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	img := testImage()
+	for _, f := range []Format{PNG, JPEG, WebP} {
+		a, err := Encode(img, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Encode(img, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s encoding must be deterministic", f)
+		}
+	}
+}
+
+func TestJPEGIsLossyInPractice(t *testing.T) {
+	img := testImage()
+	data, err := Encode(img, JPEG, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || bytes.Equal(data[:4], []byte("\x89PNG")) {
+		t.Fatal("should be jpeg bytes")
+	}
+}
+
+func TestWebPSimRoundtrip(t *testing.T) {
+	img := testImage()
+	data, err := Encode(img, WebP, 0.92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[0:4]) != "RIFF" || string(data[8:12]) != "WEBP" {
+		t.Fatal("container tags missing")
+	}
+	back, err := DecodeWebPSim(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != img.W || back.H != img.H {
+		t.Fatal("dimensions lost")
+	}
+	// Lossy: quantization must have destroyed some low bits.
+	if back.Equal(img) {
+		t.Fatal("webp-sim should be lossy")
+	}
+	// But it should be close (quality 0.92 → small step).
+	c0, c1 := img.At(3, 3), back.At(3, 3)
+	if int(c0.R)-int(c1.R) > 4 || int(c1.R) > int(c0.R) {
+		t.Fatalf("quantization too aggressive: %v vs %v", c0, c1)
+	}
+}
+
+func TestWebPSimQualityAffectsLoss(t *testing.T) {
+	img := testImage()
+	hi, _ := Encode(img, WebP, 0.95)
+	lo, _ := Encode(img, WebP, 0.10)
+	hiImg, _ := DecodeWebPSim(hi)
+	loImg, _ := DecodeWebPSim(lo)
+	if hiImg.DiffCount(img) >= loImg.DiffCount(img) {
+		t.Fatal("lower quality should lose more detail")
+	}
+}
+
+func TestDecodeWebPSimRejectsGarbage(t *testing.T) {
+	if _, err := DecodeWebPSim([]byte("not webp at all")); err == nil {
+		t.Fatal("should reject")
+	}
+	if _, err := DecodeWebPSim(nil); err == nil {
+		t.Fatal("should reject empty")
+	}
+	// Valid header but truncated payload.
+	img := testImage()
+	data, _ := Encode(img, WebP, 0.9)
+	if _, err := DecodeWebPSim(data[:30]); err == nil {
+		t.Fatal("should reject truncated")
+	}
+}
+
+func TestDataURLRoundtrip(t *testing.T) {
+	img := testImage()
+	data, _ := Encode(img, PNG, 0)
+	u := DataURL(PNG, data)
+	if !strings.HasPrefix(u, "data:image/png;base64,") {
+		t.Fatalf("prefix: %s", u[:40])
+	}
+	f, back, err := ParseDataURL(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != PNG || !bytes.Equal(back, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestParseDataURLErrors(t *testing.T) {
+	if _, _, err := ParseDataURL("http://example.com/x.png"); err == nil {
+		t.Fatal("non-data URL should fail")
+	}
+	if _, _, err := ParseDataURL("data:image/png,rawdata"); err == nil {
+		t.Fatal("missing base64 marker should fail")
+	}
+	if _, _, err := ParseDataURL("data:image/png;base64,!!!"); err == nil {
+		t.Fatal("bad base64 should fail")
+	}
+}
+
+func TestPNGSize(t *testing.T) {
+	img := testImage()
+	data, _ := Encode(img, PNG, 0)
+	w, h, err := PNGSize(data)
+	if err != nil || w != 20 || h != 10 {
+		t.Fatalf("w=%d h=%d err=%v", w, h, err)
+	}
+	if _, _, err := PNGSize([]byte("short")); err == nil {
+		t.Fatal("should reject non-png")
+	}
+}
+
+// Property: data URL roundtrip is lossless for arbitrary payloads.
+func TestDataURLProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		u := DataURL(PNG, payload)
+		fmtGot, back, err := ParseDataURL(u)
+		return err == nil && fmtGot == PNG && bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: webp-sim roundtrip preserves dimensions and never increases
+// channel values (quantization only truncates).
+func TestWebPSimProperty(t *testing.T) {
+	f := func(w, h uint8, seed uint8) bool {
+		img := raster.NewImage(int(w%32)+1, int(h%32)+1)
+		for i := range img.Pix {
+			img.Pix[i] = uint8(int(seed) + i*7)
+		}
+		data := encodeWebPSim(img, 0.8)
+		back, err := DecodeWebPSim(data)
+		if err != nil || back.W != img.W || back.H != img.H {
+			return false
+		}
+		for i := range img.Pix {
+			if back.Pix[i] > img.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodePNG(b *testing.B) {
+	img := testImage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(img, PNG, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package jsvm
+
+import (
+	"math"
+	"strings"
+)
+
+// getProp implements obj.name for every value kind, including primitive
+// string/array methods and host-object dispatch.
+func (in *Interp) getProp(v Value, name string) (Value, error) {
+	switch v.kind {
+	case KindString:
+		return stringProp(v.str, name)
+	case KindObject:
+		o := v.obj
+		switch {
+		case o.Host != nil:
+			if pv, ok := o.Host.HostGet(name); ok {
+				return pv, nil
+			}
+			return Undefined(), nil
+		case o.IsArray:
+			if m := in.interpArrayMethod(name); m.IsCallable() {
+				return m, nil
+			}
+			return arrayProp(v, name)
+		default:
+			if o.Props != nil {
+				if pv, ok := o.Props[name]; ok {
+					return pv, nil
+				}
+			}
+			if name == "hasOwnProperty" {
+				return NewNative(func(this Value, args []Value) (Value, error) {
+					if len(args) == 0 || this.Object() == nil || this.Object().Props == nil {
+						return Boolean(false), nil
+					}
+					_, ok := this.Object().Props[args[0].Str()]
+					return Boolean(ok), nil
+				}), nil
+			}
+			return Undefined(), nil
+		}
+	case KindNumber:
+		if name == "toFixed" {
+			return NewNative(func(this Value, args []Value) (Value, error) {
+				digits := 0
+				if len(args) > 0 {
+					digits = int(args[0].Num())
+				}
+				if digits < 0 || digits > 20 {
+					digits = 0
+				}
+				mult := math.Pow(10, float64(digits))
+				r := math.Floor(this.Num()*mult+0.5) / mult
+				s := formatNumber(r)
+				if digits > 0 && !strings.Contains(s, ".") {
+					s += "." + strings.Repeat("0", digits)
+				}
+				return String(s), nil
+			}), nil
+		}
+		if name == "toString" {
+			return NewNative(func(this Value, args []Value) (Value, error) {
+				return String(this.Str()), nil
+			}), nil
+		}
+		return Undefined(), nil
+	case KindUndefined, KindNull:
+		return Undefined(), rtErrf("cannot read property %q of %s", name, v.Str())
+	}
+	return Undefined(), nil
+}
+
+// getIndex implements obj[i].
+func (in *Interp) getIndex(v Value, idx Value) (Value, error) {
+	if v.kind == KindString && idx.Kind() == KindNumber {
+		i := int(idx.Num())
+		if i >= 0 && i < len(v.str) {
+			return String(v.str[i : i+1]), nil
+		}
+		return Undefined(), nil
+	}
+	if v.kind == KindObject && v.obj.IsArray && idx.Kind() == KindNumber {
+		i := int(idx.Num())
+		if i >= 0 && i < len(v.obj.Elems) {
+			return v.obj.Elems[i], nil
+		}
+		return Undefined(), nil
+	}
+	return in.getProp(v, idx.Str())
+}
+
+// setProp implements obj.name = val.
+func (in *Interp) setProp(v Value, name string, val Value) error {
+	if v.kind != KindObject {
+		return rtErrf("cannot set property %q on %s", name, v.TypeOf())
+	}
+	o := v.obj
+	if o.Host != nil {
+		o.Host.HostSet(name, val) // hosts may silently reject, like DOM
+		return nil
+	}
+	if o.IsArray && name == "length" {
+		n := int(val.Num())
+		if n < 0 {
+			n = 0
+		}
+		for len(o.Elems) < n {
+			o.Elems = append(o.Elems, Undefined())
+		}
+		o.Elems = o.Elems[:n]
+		return nil
+	}
+	if o.Props == nil {
+		o.Props = map[string]Value{}
+	}
+	o.Props[name] = val
+	return nil
+}
+
+// setIndex implements obj[i] = val.
+func (in *Interp) setIndex(v Value, idx Value, val Value) error {
+	if v.kind == KindObject && v.obj.IsArray && idx.Kind() == KindNumber {
+		i := int(idx.Num())
+		if i < 0 {
+			return rtErrf("negative array index")
+		}
+		for len(v.obj.Elems) <= i {
+			v.obj.Elems = append(v.obj.Elems, Undefined())
+		}
+		v.obj.Elems[i] = val
+		return nil
+	}
+	return in.setProp(v, idx.Str(), val)
+}
+
+// stringProp serves string properties and methods.
+func stringProp(s, name string) (Value, error) {
+	switch name {
+	case "length":
+		return Number(float64(len(s))), nil
+	case "charCodeAt":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(args[0].Num())
+			}
+			str := this.Str()
+			if i < 0 || i >= len(str) {
+				return Number(math.NaN()), nil
+			}
+			return Number(float64(str[i])), nil
+		}), nil
+	case "charAt":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			i := 0
+			if len(args) > 0 {
+				i = int(args[0].Num())
+			}
+			str := this.Str()
+			if i < 0 || i >= len(str) {
+				return String(""), nil
+			}
+			return String(str[i : i+1]), nil
+		}), nil
+	case "indexOf":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Number(-1), nil
+			}
+			return Number(float64(strings.Index(this.Str(), args[0].Str()))), nil
+		}), nil
+	case "lastIndexOf":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Number(-1), nil
+			}
+			return Number(float64(strings.LastIndex(this.Str(), args[0].Str()))), nil
+		}), nil
+	case "includes":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Boolean(false), nil
+			}
+			return Boolean(strings.Contains(this.Str(), args[0].Str())), nil
+		}), nil
+	case "startsWith":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Boolean(false), nil
+			}
+			return Boolean(strings.HasPrefix(this.Str(), args[0].Str())), nil
+		}), nil
+	case "endsWith":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return Boolean(false), nil
+			}
+			return Boolean(strings.HasSuffix(this.Str(), args[0].Str())), nil
+		}), nil
+	case "slice", "substring":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			str := this.Str()
+			start, end := 0, len(str)
+			if len(args) > 0 {
+				start = normIndex(int(args[0].Num()), len(str), name == "slice")
+			}
+			if len(args) > 1 && !args[1].IsUndefined() {
+				end = normIndex(int(args[1].Num()), len(str), name == "slice")
+			}
+			if start > end {
+				if name == "substring" {
+					start, end = end, start
+				} else {
+					return String(""), nil
+				}
+			}
+			return String(str[start:end]), nil
+		}), nil
+	case "toUpperCase":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			return String(strings.ToUpper(this.Str())), nil
+		}), nil
+	case "toLowerCase":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			return String(strings.ToLower(this.Str())), nil
+		}), nil
+	case "trim":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			return String(strings.TrimSpace(this.Str())), nil
+		}), nil
+	case "split":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			str := this.Str()
+			if len(args) == 0 {
+				return NewArray(String(str)), nil
+			}
+			parts := strings.Split(str, args[0].Str())
+			out := make([]Value, len(parts))
+			for i, p := range parts {
+				out[i] = String(p)
+			}
+			return NewArray(out...), nil
+		}), nil
+	case "replace":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			if len(args) < 2 {
+				return this, nil
+			}
+			return String(strings.Replace(this.Str(), args[0].Str(), args[1].Str(), 1)), nil
+		}), nil
+	case "repeat":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			n := 0
+			if len(args) > 0 {
+				n = int(args[0].Num())
+			}
+			if n < 0 || n > 1<<20 {
+				return Undefined(), rtErrf("invalid repeat count")
+			}
+			return String(strings.Repeat(this.Str(), n)), nil
+		}), nil
+	case "concat":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			out := this.Str()
+			for _, a := range args {
+				out += a.Str()
+			}
+			return String(out), nil
+		}), nil
+	case "toString":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			return String(this.Str()), nil
+		}), nil
+	}
+	return Undefined(), nil
+}
+
+func normIndex(i, n int, allowNegative bool) int {
+	if i < 0 {
+		if allowNegative {
+			i += n
+		}
+		if i < 0 {
+			i = 0
+		}
+	}
+	if i > n {
+		i = n
+	}
+	return i
+}
+
+// arrayProp serves array properties and methods.
+func arrayProp(v Value, name string) (Value, error) {
+	o := v.obj
+	switch name {
+	case "length":
+		return Number(float64(len(o.Elems))), nil
+	case "push":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			if to == nil {
+				return Undefined(), rtErrf("push on non-array")
+			}
+			to.Elems = append(to.Elems, args...)
+			return Number(float64(len(to.Elems))), nil
+		}), nil
+	case "pop":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			if to == nil || len(to.Elems) == 0 {
+				return Undefined(), nil
+			}
+			last := to.Elems[len(to.Elems)-1]
+			to.Elems = to.Elems[:len(to.Elems)-1]
+			return last, nil
+		}), nil
+	case "join":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = args[0].Str()
+			}
+			to := this.Object()
+			parts := make([]string, len(to.Elems))
+			for i, e := range to.Elems {
+				if !e.IsNullish() {
+					parts[i] = e.Str()
+				}
+			}
+			return String(strings.Join(parts, sep)), nil
+		}), nil
+	case "indexOf":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			if len(args) > 0 {
+				for i, e := range to.Elems {
+					if StrictEquals(e, args[0]) {
+						return Number(float64(i)), nil
+					}
+				}
+			}
+			return Number(-1), nil
+		}), nil
+	case "includes":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			if len(args) > 0 {
+				for _, e := range to.Elems {
+					if StrictEquals(e, args[0]) {
+						return Boolean(true), nil
+					}
+				}
+			}
+			return Boolean(false), nil
+		}), nil
+	case "slice":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			start, end := 0, len(to.Elems)
+			if len(args) > 0 {
+				start = normIndex(int(args[0].Num()), len(to.Elems), true)
+			}
+			if len(args) > 1 && !args[1].IsUndefined() {
+				end = normIndex(int(args[1].Num()), len(to.Elems), true)
+			}
+			if start > end {
+				start = end
+			}
+			cp := make([]Value, end-start)
+			copy(cp, to.Elems[start:end])
+			return NewArray(cp...), nil
+		}), nil
+	case "concat":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			out := make([]Value, len(to.Elems))
+			copy(out, to.Elems)
+			for _, a := range args {
+				if a.IsArray() {
+					out = append(out, a.Object().Elems...)
+				} else {
+					out = append(out, a)
+				}
+			}
+			return NewArray(out...), nil
+		}), nil
+	case "reverse":
+		return NewNative(func(this Value, args []Value) (Value, error) {
+			to := this.Object()
+			for i, j := 0, len(to.Elems)-1; i < j; i, j = i+1, j-1 {
+				to.Elems[i], to.Elems[j] = to.Elems[j], to.Elems[i]
+			}
+			return this, nil
+		}), nil
+	}
+	// forEach/map/filter need the interpreter; they are installed by
+	// builtins via interpArrayMethod.
+	return Undefined(), nil
+}

@@ -1,0 +1,331 @@
+package jsvm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates runtime value kinds.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindNull
+	KindBool
+	KindNumber
+	KindString
+	KindObject
+)
+
+// NativeFunc is a Go function callable from scripts.
+type NativeFunc func(this Value, args []Value) (Value, error)
+
+// HostObject lets a Go object participate as a script object: property
+// reads (which may return bound native methods) and property writes.
+type HostObject interface {
+	// HostGet returns the property value and whether it exists.
+	HostGet(name string) (Value, bool)
+	// HostSet assigns a property, reporting whether the write was
+	// accepted.
+	HostSet(name string, v Value) bool
+}
+
+// Object is the heap form of arrays, plain objects, functions and host
+// object wrappers.
+type Object struct {
+	Props   map[string]Value
+	Elems   []Value
+	IsArray bool
+	Fn      *FuncLit
+	Env     *Scope
+	Native  NativeFunc
+	Host    HostObject
+}
+
+// Value is a script value. The zero Value is undefined.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+	b    bool
+	obj  *Object
+}
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{} }
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Boolean wraps a Go bool.
+func Boolean(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Number wraps a float64.
+func Number(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// String wraps a Go string.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// NewObject returns an empty plain object.
+func NewObject() Value {
+	return Value{kind: KindObject, obj: &Object{Props: map[string]Value{}}}
+}
+
+// NewArray returns an array value holding elems.
+func NewArray(elems ...Value) Value {
+	return Value{kind: KindObject, obj: &Object{IsArray: true, Elems: elems}}
+}
+
+// NewNative wraps a Go function as a callable value.
+func NewNative(fn NativeFunc) Value {
+	return Value{kind: KindObject, obj: &Object{Native: fn}}
+}
+
+// NewHost wraps a HostObject.
+func NewHost(h HostObject) Value {
+	return Value{kind: KindObject, obj: &Object{Host: h}}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports kind == undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsNullish reports undefined or null.
+func (v Value) IsNullish() bool { return v.kind == KindUndefined || v.kind == KindNull }
+
+// IsCallable reports whether Call can invoke the value.
+func (v Value) IsCallable() bool {
+	return v.kind == KindObject && (v.obj.Fn != nil || v.obj.Native != nil)
+}
+
+// IsArray reports whether the value is an array object.
+func (v Value) IsArray() bool { return v.kind == KindObject && v.obj.IsArray }
+
+// Host returns the wrapped HostObject, or nil.
+func (v Value) Host() HostObject {
+	if v.kind == KindObject {
+		return v.obj.Host
+	}
+	return nil
+}
+
+// Object returns the underlying heap object, or nil for primitives.
+func (v Value) Object() *Object {
+	if v.kind == KindObject {
+		return v.obj
+	}
+	return nil
+}
+
+// Bool converts per JS truthiness.
+func (v Value) Bool() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case KindString:
+		return v.str != ""
+	case KindObject:
+		return true
+	}
+	return false
+}
+
+// Num converts per JS ToNumber.
+func (v Value) Num() float64 {
+	switch v.kind {
+	case KindNumber:
+		return v.num
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		s := strings.TrimSpace(v.str)
+		if s == "" {
+			return 0
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f
+		}
+		return math.NaN()
+	case KindNull:
+		return 0
+	}
+	return math.NaN()
+}
+
+// Str converts per JS ToString.
+func (v Value) Str() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return formatNumber(v.num)
+	case KindString:
+		return v.str
+	case KindObject:
+		switch {
+		case v.obj.IsArray:
+			parts := make([]string, len(v.obj.Elems))
+			for i, e := range v.obj.Elems {
+				if !e.IsNullish() {
+					parts[i] = e.Str()
+				}
+			}
+			return strings.Join(parts, ",")
+		case v.obj.Fn != nil || v.obj.Native != nil:
+			return "function () { [code] }"
+		case v.obj.Host != nil:
+			if s, ok := v.obj.Host.HostGet("__string__"); ok {
+				return s.Str()
+			}
+			return "[object Object]"
+		default:
+			return "[object Object]"
+		}
+	}
+	return ""
+}
+
+// formatNumber renders numbers the way JavaScript does: integers without
+// a decimal point, NaN/Infinity by name.
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e21:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// TypeOf implements the typeof operator.
+func (v Value) TypeOf() string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindObject:
+		if v.IsCallable() {
+			return "function"
+		}
+		return "object"
+	}
+	return "undefined"
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindNumber:
+		return a.num == b.num // NaN !== NaN falls out naturally
+	case KindString:
+		return a.str == b.str
+	case KindObject:
+		return a.obj == b.obj
+	}
+	return false
+}
+
+// LooseEquals implements == with the coercions scripts actually rely on.
+func LooseEquals(a, b Value) bool {
+	if a.kind == b.kind {
+		return StrictEquals(a, b)
+	}
+	if a.IsNullish() && b.IsNullish() {
+		return true
+	}
+	if a.IsNullish() != b.IsNullish() {
+		return false
+	}
+	// Number/string/bool cross-kind: compare as numbers.
+	return a.Num() == b.Num()
+}
+
+// JSONStringify implements JSON.stringify for the supported value kinds.
+// Functions and host objects serialize as null (close enough to JS, which
+// drops/nulls them depending on position).
+func JSONStringify(v Value) string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool, KindNumber:
+		return v.Str()
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindObject:
+		if v.IsCallable() || v.obj.Host != nil {
+			return "null"
+		}
+		if v.obj.IsArray {
+			parts := make([]string, len(v.obj.Elems))
+			for i, e := range v.obj.Elems {
+				s := JSONStringify(e)
+				if s == "undefined" {
+					s = "null"
+				}
+				parts[i] = s
+			}
+			return "[" + strings.Join(parts, ",") + "]"
+		}
+		keys := make([]string, 0, len(v.obj.Props))
+		for k := range v.obj.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteByte('{')
+		first := true
+		for _, k := range keys {
+			s := JSONStringify(v.obj.Props[k])
+			if s == "undefined" {
+				continue
+			}
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&sb, "%s:%s", strconv.Quote(k), s)
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	}
+	return "null"
+}

@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinProfilesDiffer(t *testing.T) {
+	a, b := Intel(), AppleM1()
+	if a.Name == b.Name || a.Seed == b.Seed {
+		t.Fatal("built-in profiles must be distinct")
+	}
+	la, lb := a.CoverageLUT(), b.CoverageLUT()
+	diff := 0
+	for i := range la {
+		if la[i] != lb[i] {
+			diff++
+		}
+	}
+	if diff < 32 {
+		t.Fatalf("profiles should produce substantially different LUTs, got %d diffs", diff)
+	}
+}
+
+func TestCoverageLUTEndpoints(t *testing.T) {
+	for _, p := range Profiles() {
+		lut := p.CoverageLUT()
+		if lut[0] != 0 {
+			t.Fatalf("%s: LUT[0] = %d, want 0", p.Name, lut[0])
+		}
+		if lut[255] != 255 {
+			t.Fatalf("%s: LUT[255] = %d, want 255", p.Name, lut[255])
+		}
+	}
+}
+
+func TestCoverageLUTMonotone(t *testing.T) {
+	for _, p := range append(Profiles(), Synthetic("x1"), Synthetic("x2")) {
+		lut := p.CoverageLUT()
+		for i := 1; i < 256; i++ {
+			if lut[i] < lut[i-1] {
+				t.Fatalf("%s: LUT not monotone at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestCoverageLUTNonzeroPreserved(t *testing.T) {
+	for _, p := range Profiles() {
+		lut := p.CoverageLUT()
+		for i := 1; i < 256; i++ {
+			if lut[i] == 0 {
+				t.Fatalf("%s: nonzero coverage %d mapped to zero", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestCoverageLUTDeterministic(t *testing.T) {
+	p := Intel()
+	a, b := p.CoverageLUT(), p.CoverageLUT()
+	if *a != *b {
+		t.Fatal("LUT must be deterministic")
+	}
+}
+
+func TestGlyphOffsetDeterministic(t *testing.T) {
+	p := Intel()
+	dx1, dy1 := p.GlyphOffset('a', 10.25)
+	dx2, dy2 := p.GlyphOffset('a', 10.25)
+	if dx1 != dx2 || dy1 != dy2 {
+		t.Fatal("glyph offset must be deterministic")
+	}
+	dx3, _ := p.GlyphOffset('b', 10.25)
+	dx4, _ := p.GlyphOffset('a', 50.0)
+	if dx1 == dx3 && dx1 == dx4 {
+		t.Fatal("offset should depend on rune and position")
+	}
+}
+
+func TestGlyphOffsetBounded(t *testing.T) {
+	f := func(r rune, x float64) bool {
+		if x != x || x > 1e12 || x < -1e12 { // NaN / huge
+			return true
+		}
+		p := AppleM1()
+		dx, dy := p.GlyphOffset(r, x)
+		lim := p.SubpixelJitter + 1e-12
+		return dx >= -lim && dx <= lim && dy >= -lim && dy <= lim
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlyphOffsetDiffersAcrossMachines(t *testing.T) {
+	i, m := Intel(), AppleM1()
+	same := 0
+	for _, r := range "Canvassing" {
+		dxi, dyi := i.GlyphOffset(r, 12)
+		dxm, dym := m.GlyphOffset(r, 12)
+		if dxi == dxm && dyi == dym {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("machines should disagree on glyph placement, %d/10 same", same)
+	}
+}
+
+func TestSyntheticStable(t *testing.T) {
+	a := Synthetic("lab-42")
+	b := Synthetic("lab-42")
+	if *a != *b {
+		t.Fatal("synthetic profile must be a pure function of its label")
+	}
+	c := Synthetic("lab-43")
+	if a.Seed == c.Seed {
+		t.Fatal("labels must decorrelate")
+	}
+	if a.Gamma < 0.8 || a.Gamma > 1.4 || a.AAStrength < 0.8 || a.AAStrength > 1.2 {
+		t.Fatalf("synthetic parameters out of range: %+v", a)
+	}
+}
+
+func TestUserAgentMentionsStack(t *testing.T) {
+	ua := Intel().UserAgent()
+	if ua == "" || ua == AppleM1().UserAgent() {
+		t.Fatal("user agents should identify the stack")
+	}
+}

@@ -1,0 +1,223 @@
+// Package netsim simulates the network layer beneath the crawler: URLs,
+// DNS with CNAME records, and an HTTP-like resource store.
+//
+// The paper's evasion analysis (§5.2) hinges on network-layer facts —
+// whether a script is served first-party or third-party, from a customer
+// subdomain, through a CNAME-cloaked host, or from a shared CDN. Those
+// distinctions are modeled here precisely so that blocklist matching and
+// ad-blocker behavior can get them right (and wrong) the same way real
+// ad blockers do.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// URL is a simplified absolute URL (scheme, host, path?query).
+type URL struct {
+	Scheme string
+	Host   string
+	Path   string
+}
+
+// ParseURL parses scheme://host/path URLs. The path defaults to "/".
+func ParseURL(s string) (URL, error) {
+	scheme, rest, ok := strings.Cut(s, "://")
+	if !ok || scheme == "" {
+		return URL{}, fmt.Errorf("netsim: missing scheme in %q", s)
+	}
+	host, path, found := strings.Cut(rest, "/")
+	if host == "" {
+		return URL{}, fmt.Errorf("netsim: missing host in %q", s)
+	}
+	u := URL{Scheme: scheme, Host: strings.ToLower(host), Path: "/"}
+	if found {
+		u.Path = "/" + path
+	}
+	return u, nil
+}
+
+// MustParseURL is ParseURL for static configuration; it panics on error.
+func MustParseURL(s string) URL {
+	u, err := ParseURL(s)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String reassembles the URL.
+func (u URL) String() string { return u.Scheme + "://" + u.Host + u.Path }
+
+// Base returns the filename component of the path.
+func (u URL) Base() string {
+	i := strings.LastIndexByte(u.Path, '/')
+	return u.Path[i+1:]
+}
+
+// publicSuffixes lists the multi-label suffixes this simulation's domains
+// use; single-label TLDs are handled generically.
+var publicSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "com.au": true, "com.br": true,
+	"co.jp": true, "com.cn": true, "com.pa": true, "co.in": true,
+}
+
+// ETLDPlusOne returns the registrable domain of host ("shop.example.co.uk"
+// → "example.co.uk"). Unregistrable inputs return the input unchanged.
+func ETLDPlusOne(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	labels := strings.Split(host, ".")
+	if len(labels) <= 2 {
+		return host
+	}
+	suffix2 := strings.Join(labels[len(labels)-2:], ".")
+	if publicSuffixes[suffix2] && len(labels) >= 3 {
+		return strings.Join(labels[len(labels)-3:], ".")
+	}
+	return suffix2
+}
+
+// SameSite reports whether two hosts share a registrable domain — the
+// "first-party" test ad blockers apply.
+func SameSite(a, b string) bool { return ETLDPlusOne(a) == ETLDPlusOne(b) }
+
+// IsSubdomainOf reports whether host is a strict subdomain of parent
+// (shop.example.com is a subdomain of example.com; example.com is not).
+func IsSubdomainOf(host, parent string) bool {
+	host = strings.ToLower(host)
+	parent = strings.ToLower(parent)
+	return host != parent && strings.HasSuffix(host, "."+parent)
+}
+
+// PopularCDNDomains is the paper's Appendix A.5 list: domains whose
+// presence in a script URL marks it as served through a shared CDN.
+var PopularCDNDomains = []string{
+	"cloudflare.com",
+	"cloudfront.net",
+	"fastly.net",
+	"gstatic.com",
+	"googleusercontent.com",
+	"googleapis.com",
+	"akamai.net",
+	"azureedge.net",
+	"b-cdn.net",
+	"bootstrapcdn.com",
+	"cdn.jsdelivr.net",
+	"cdnjs.cloudflare.com",
+}
+
+// ServedFromPopularCDN reports whether the host is (a subdomain of) one of
+// the popular CDN domains.
+func ServedFromPopularCDN(host string) bool {
+	host = strings.ToLower(host)
+	for _, cdn := range PopularCDNDomains {
+		if host == cdn || strings.HasSuffix(host, "."+cdn) {
+			return true
+		}
+	}
+	return false
+}
+
+// DNS resolves hostnames, following CNAME chains. It exists because CNAME
+// cloaking — a first-party-looking hostname aliased to a tracker — is
+// invisible to URL-level blocklist checks but visible to anyone who
+// resolves the name.
+type DNS struct {
+	cnames map[string]string
+}
+
+// NewDNS returns an empty resolver.
+func NewDNS() *DNS {
+	return &DNS{cnames: map[string]string{}}
+}
+
+// AddCNAME aliases from → to.
+func (d *DNS) AddCNAME(from, to string) {
+	d.cnames[strings.ToLower(from)] = strings.ToLower(to)
+}
+
+// CNAMEChain returns the chain of hostnames starting at host, following
+// CNAME records to the final canonical name. A host with no CNAME returns
+// just itself. Chains are capped at 8 hops to break loops.
+func (d *DNS) CNAMEChain(host string) []string {
+	host = strings.ToLower(host)
+	chain := []string{host}
+	for i := 0; i < 8; i++ {
+		next, ok := d.cnames[chain[len(chain)-1]]
+		if !ok {
+			break
+		}
+		chain = append(chain, next)
+	}
+	return chain
+}
+
+// CanonicalName returns the final name in the CNAME chain.
+func (d *DNS) CanonicalName(host string) string {
+	chain := d.CNAMEChain(host)
+	return chain[len(chain)-1]
+}
+
+// IsCloaked reports whether host resolves through a CNAME to a different
+// site (a different registrable domain).
+func (d *DNS) IsCloaked(host string) bool {
+	return !SameSite(host, d.CanonicalName(host))
+}
+
+// Resource is a hosted HTTP response body.
+type Resource struct {
+	URL  URL
+	MIME string
+	Body string
+}
+
+// ErrNotFound is returned by Store.Fetch for unknown URLs.
+var ErrNotFound = errors.New("netsim: resource not found")
+
+// Store is the simulated Web server fleet: a URL-addressed body store.
+type Store struct {
+	resources map[string]*Resource
+	dns       *DNS
+}
+
+// NewStore returns an empty store using the given resolver (nil creates
+// a private one).
+func NewStore(dns *DNS) *Store {
+	if dns == nil {
+		dns = NewDNS()
+	}
+	return &Store{resources: map[string]*Resource{}, dns: dns}
+}
+
+// DNS exposes the store's resolver.
+func (s *Store) DNS() *DNS { return s.dns }
+
+// Host publishes body at url.
+func (s *Store) Host(u URL, mime, body string) {
+	s.resources[u.String()] = &Resource{URL: u, MIME: mime, Body: body}
+}
+
+// Fetch retrieves the resource at u. Fetching follows DNS: a CNAME-cloaked
+// hostname serves the content hosted under its canonical name when the
+// alias itself has nothing published (exactly how cloaking deployments
+// work — the alias is pure DNS).
+func (s *Store) Fetch(u URL) (*Resource, error) {
+	if r, ok := s.resources[u.String()]; ok {
+		return r, nil
+	}
+	canon := s.dns.CanonicalName(u.Host)
+	if canon != u.Host {
+		alias := u
+		alias.Host = canon
+		if r, ok := s.resources[alias.String()]; ok {
+			// The body is served under the requested (cloaked) URL.
+			return &Resource{URL: u, MIME: r.MIME, Body: r.Body}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, u)
+}
+
+// Len returns the number of hosted resources.
+func (s *Store) Len() int { return len(s.resources) }

@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseURL(t *testing.T) {
+	u, err := ParseURL("https://Example.com/js/app.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Scheme != "https" || u.Host != "example.com" || u.Path != "/js/app.js" {
+		t.Fatalf("%+v", u)
+	}
+	if u.String() != "https://example.com/js/app.js" {
+		t.Fatal("roundtrip")
+	}
+	if u.Base() != "app.js" {
+		t.Fatal("base")
+	}
+	u2, _ := ParseURL("https://example.com")
+	if u2.Path != "/" {
+		t.Fatal("default path")
+	}
+}
+
+func TestParseURLErrors(t *testing.T) {
+	for _, bad := range []string{"", "example.com/x", "https://", "://host"} {
+		if _, err := ParseURL(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestETLDPlusOne(t *testing.T) {
+	cases := map[string]string{
+		"example.com":        "example.com",
+		"www.example.com":    "example.com",
+		"a.b.c.example.com":  "example.com",
+		"example.co.uk":      "example.co.uk",
+		"shop.example.co.uk": "example.co.uk",
+		"betus.com.pa":       "betus.com.pa",
+		"www.betus.com.pa":   "betus.com.pa",
+		"localhost":          "localhost",
+		"privacy-cs.mail.ru": "mail.ru",
+	}
+	for in, want := range cases {
+		if got := ETLDPlusOne(in); got != want {
+			t.Fatalf("ETLDPlusOne(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	if !SameSite("www.shop.com", "cdn.shop.com") {
+		t.Fatal("same registrable domain")
+	}
+	if SameSite("shop.com", "tracker.net") {
+		t.Fatal("different sites")
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	if !IsSubdomainOf("fp.shop.com", "shop.com") {
+		t.Fatal("subdomain")
+	}
+	if IsSubdomainOf("shop.com", "shop.com") {
+		t.Fatal("self is not a strict subdomain")
+	}
+	if IsSubdomainOf("notshop.com", "shop.com") {
+		t.Fatal("suffix match must respect label boundary")
+	}
+}
+
+func TestServedFromPopularCDN(t *testing.T) {
+	if !ServedFromPopularCDN("dxxxx.cloudfront.net") {
+		t.Fatal("cloudfront subdomain")
+	}
+	if !ServedFromPopularCDN("gstatic.com") {
+		t.Fatal("exact cdn domain")
+	}
+	if ServedFromPopularCDN("example.com") {
+		t.Fatal("non-cdn")
+	}
+	if ServedFromPopularCDN("evilcloudfront.net") {
+		t.Fatal("label boundary")
+	}
+}
+
+func TestCNAMEChain(t *testing.T) {
+	d := NewDNS()
+	d.AddCNAME("fp.shop.com", "shop.fpvendor.net")
+	d.AddCNAME("shop.fpvendor.net", "edge.fpvendor.net")
+	chain := d.CNAMEChain("fp.shop.com")
+	if len(chain) != 3 || chain[2] != "edge.fpvendor.net" {
+		t.Fatalf("chain: %v", chain)
+	}
+	if d.CanonicalName("fp.shop.com") != "edge.fpvendor.net" {
+		t.Fatal("canonical")
+	}
+	if d.CanonicalName("unrelated.com") != "unrelated.com" {
+		t.Fatal("no cname")
+	}
+}
+
+func TestCNAMELoopBounded(t *testing.T) {
+	d := NewDNS()
+	d.AddCNAME("a.com", "b.com")
+	d.AddCNAME("b.com", "a.com")
+	chain := d.CNAMEChain("a.com")
+	if len(chain) > 10 {
+		t.Fatalf("loop not bounded: %d", len(chain))
+	}
+}
+
+func TestIsCloaked(t *testing.T) {
+	d := NewDNS()
+	d.AddCNAME("metrics.shop.com", "t.tracker.io")
+	d.AddCNAME("www.shop.com", "lb.shop.com")
+	if !d.IsCloaked("metrics.shop.com") {
+		t.Fatal("cross-site cname is cloaking")
+	}
+	if d.IsCloaked("www.shop.com") {
+		t.Fatal("same-site cname is not cloaking")
+	}
+	if d.IsCloaked("plain.com") {
+		t.Fatal("no cname is not cloaking")
+	}
+}
+
+func TestStoreHostFetch(t *testing.T) {
+	s := NewStore(nil)
+	u := MustParseURL("https://vendor.net/fp.js")
+	s.Host(u, "text/javascript", "var x = 1;")
+	r, err := s.Fetch(u)
+	if err != nil || r.Body != "var x = 1;" || r.MIME != "text/javascript" {
+		t.Fatalf("fetch: %+v err=%v", r, err)
+	}
+	_, err = s.Fetch(MustParseURL("https://vendor.net/missing.js"))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatal("len")
+	}
+}
+
+func TestFetchThroughCloak(t *testing.T) {
+	d := NewDNS()
+	s := NewStore(d)
+	canonical := MustParseURL("https://edge.fpvendor.net/collector.js")
+	s.Host(canonical, "text/javascript", "fingerprint();")
+	d.AddCNAME("metrics.shop.com", "edge.fpvendor.net")
+
+	cloaked := MustParseURL("https://metrics.shop.com/collector.js")
+	r, err := s.Fetch(cloaked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Body != "fingerprint();" {
+		t.Fatal("cloaked fetch should serve canonical content")
+	}
+	// The resource reports the requested URL: the browser never sees the
+	// canonical name.
+	if r.URL.Host != "metrics.shop.com" {
+		t.Fatalf("resource URL: %v", r.URL)
+	}
+}
+
+func TestMustParseURLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseURL("not a url")
+}
+
+// Property: ETLDPlusOne is idempotent.
+func TestETLDIdempotentProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		clean := func(s string) string {
+			out := ""
+			for _, r := range s {
+				if r >= 'a' && r <= 'z' {
+					out += string(r)
+				}
+			}
+			if out == "" {
+				out = "x"
+			}
+			return out
+		}
+		host := clean(a) + "." + clean(b) + "." + clean(c) + ".com"
+		e := ETLDPlusOne(host)
+		return ETLDPlusOne(e) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: URL parse/format roundtrip.
+func TestURLRoundtripProperty(t *testing.T) {
+	f := func(host, path string) bool {
+		cleanHost := ""
+		for _, r := range host {
+			if r >= 'a' && r <= 'z' || r == '.' || r == '-' {
+				cleanHost += string(r)
+			}
+		}
+		if cleanHost == "" || cleanHost[0] == '.' {
+			return true
+		}
+		cleanPath := ""
+		for _, r := range path {
+			if r > ' ' && r != '/' && r < 127 {
+				cleanPath += string(r)
+			}
+		}
+		s := "https://" + cleanHost + "/" + cleanPath
+		u, err := ParseURL(s)
+		if err != nil {
+			return false
+		}
+		u2, err := ParseURL(u.String())
+		return err == nil && u == u2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package randomize
+
+import (
+	"testing"
+
+	"canvassing/internal/canvas"
+	"canvassing/internal/machine"
+)
+
+// renderOnce draws a test canvas with the hook installed and extracts it.
+func renderOnce(hook canvas.ExtractHook) string {
+	e := canvas.New(machine.Intel())
+	e.SetExtractHook(hook)
+	ctx := e.GetContext("2d")
+	ctx.SetFillStyle("#f60")
+	ctx.FillRect(10, 10, 100, 50)
+	ctx.SetFont("14px Arial")
+	ctx.SetFillStyle("#069")
+	ctx.FillText("probe", 12, 40)
+	return e.ToDataURL("", 0)
+}
+
+func TestPerRenderNoiseDiffers(t *testing.T) {
+	d := NewDefense(PerRender, 1)
+	hook := d.Hook()
+	a := renderOnce(hook)
+	b := renderOnce(hook)
+	if a == b {
+		t.Fatal("per-render noise must change every extraction")
+	}
+}
+
+func TestPerSessionNoiseStable(t *testing.T) {
+	d := NewDefense(PerSession, 1)
+	hook := d.Hook()
+	a := renderOnce(hook)
+	b := renderOnce(hook)
+	if a != b {
+		t.Fatal("per-session noise must repeat for identical canvases")
+	}
+	// But it still poisons the fingerprint vs no defense.
+	clean := renderOnce(nil)
+	if a == clean {
+		t.Fatal("session noise should still change the canvas")
+	}
+	// And different sessions poison differently.
+	d2 := NewDefense(PerSession, 2)
+	if renderOnce(d2.Hook()) == a {
+		t.Fatal("different session seeds must differ")
+	}
+}
+
+func TestDetectRandomization(t *testing.T) {
+	perRender := NewDefense(PerRender, 9).Hook()
+	if !DetectRandomization(func() string { return renderOnce(perRender) }) {
+		t.Fatal("Algorithm 1 must detect per-render noise")
+	}
+	perSession := NewDefense(PerSession, 9).Hook()
+	if DetectRandomization(func() string { return renderOnce(perSession) }) {
+		t.Fatal("Algorithm 1 cannot detect per-session noise (footnote 7)")
+	}
+	if DetectRandomization(func() string { return renderOnce(nil) }) {
+		t.Fatal("no defense, no detection")
+	}
+}
+
+func TestNoiseLeavesTransparentPixelsClean(t *testing.T) {
+	e := canvas.New(machine.Intel())
+	d := NewDefense(PerRender, 3)
+	e.SetExtractHook(d.Hook())
+	// Empty canvas: everything transparent, nothing to noise.
+	a := e.ToDataURL("", 0)
+	b := e.ToDataURL("", 0)
+	if a != b {
+		t.Fatal("noise must only apply to drawn pixels")
+	}
+}
+
+func TestNoiseDoesNotMutateBacking(t *testing.T) {
+	e := canvas.New(machine.Intel())
+	ctx := e.GetContext("2d")
+	ctx.SetFillStyle("#123456")
+	ctx.FillRect(0, 0, 50, 50)
+	before := e.Image().Clone()
+	d := NewDefense(PerRender, 5)
+	e.SetExtractHook(d.Hook())
+	_ = e.ToDataURL("", 0)
+	if !e.Image().Equal(before) {
+		t.Fatal("defense must not mutate the canvas bitmap")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if PerRender.String() != "per-render" || PerSession.String() != "per-session" {
+		t.Fatal("mode names")
+	}
+	if NewDefense(PerSession, 0).Mode() != PerSession {
+		t.Fatal("mode accessor")
+	}
+}

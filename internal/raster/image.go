@@ -1,0 +1,321 @@
+// Package raster implements a deterministic software rasterizer: an RGBA
+// pixel buffer, scanline polygon filling with supersampled anti-aliasing,
+// stroking, and a small set of Porter-Duff style composite operators.
+//
+// Determinism is the load-bearing property. Canvas fingerprinting works
+// because rendering the same draw-command stream on the same machine always
+// produces the same bytes, while different machines differ subtly. All
+// arithmetic here is integer or strictly-ordered float64, so a given
+// (commands, coverage-LUT) pair produces identical pixels on every run.
+package raster
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// RGBA is a non-premultiplied 8-bit color.
+type RGBA struct {
+	R, G, B, A uint8
+}
+
+// Opaque reports whether the color is fully opaque.
+func (c RGBA) Opaque() bool { return c.A == 0xFF }
+
+// String implements fmt.Stringer in CSS-like #RRGGBBAA form.
+func (c RGBA) String() string {
+	return fmt.Sprintf("#%02x%02x%02x%02x", c.R, c.G, c.B, c.A)
+}
+
+// Image is a W×H RGBA pixel buffer with non-premultiplied storage.
+type Image struct {
+	W, H int
+	// Pix holds pixels in R,G,B,A order, row-major, 4 bytes per pixel.
+	Pix []uint8
+}
+
+// NewImage returns a fully transparent image of the given size.
+// Dimensions are clamped to at least 0.
+func NewImage(w, h int) *Image {
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*4)}
+}
+
+// Clone returns a deep copy of m.
+func (m *Image) Clone() *Image {
+	cp := &Image{W: m.W, H: m.H, Pix: make([]uint8, len(m.Pix))}
+	copy(cp.Pix, m.Pix)
+	return cp
+}
+
+// InBounds reports whether (x, y) is a valid pixel coordinate.
+func (m *Image) InBounds(x, y int) bool {
+	return x >= 0 && x < m.W && y >= 0 && y < m.H
+}
+
+// At returns the pixel at (x, y), or the zero color when out of bounds.
+func (m *Image) At(x, y int) RGBA {
+	if !m.InBounds(x, y) {
+		return RGBA{}
+	}
+	i := (y*m.W + x) * 4
+	return RGBA{m.Pix[i], m.Pix[i+1], m.Pix[i+2], m.Pix[i+3]}
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (m *Image) Set(x, y int, c RGBA) {
+	if !m.InBounds(x, y) {
+		return
+	}
+	i := (y*m.W + x) * 4
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2], m.Pix[i+3] = c.R, c.G, c.B, c.A
+}
+
+// Clear fills the whole image with c (no blending).
+func (m *Image) Clear(c RGBA) {
+	for i := 0; i < len(m.Pix); i += 4 {
+		m.Pix[i], m.Pix[i+1], m.Pix[i+2], m.Pix[i+3] = c.R, c.G, c.B, c.A
+	}
+}
+
+// ClearRect makes the given rectangle fully transparent, matching the
+// Canvas clearRect semantics. Coordinates are clipped to the image.
+func (m *Image) ClearRect(x0, y0, x1, y1 int) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > m.W {
+		x1 = m.W
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	for y := y0; y < y1; y++ {
+		base := (y*m.W + x0) * 4
+		for x := x0; x < x1; x++ {
+			m.Pix[base] = 0
+			m.Pix[base+1] = 0
+			m.Pix[base+2] = 0
+			m.Pix[base+3] = 0
+			base += 4
+		}
+	}
+}
+
+// Equal reports whether two images have identical dimensions and pixels.
+func (m *Image) Equal(o *Image) bool {
+	if m.W != o.W || m.H != o.H {
+		return false
+	}
+	for i := range m.Pix {
+		if m.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of byte positions at which the two images
+// differ, or -1 when the dimensions differ.
+func (m *Image) DiffCount(o *Image) int {
+	if m.W != o.W || m.H != o.H {
+		return -1
+	}
+	n := 0
+	for i := range m.Pix {
+		if m.Pix[i] != o.Pix[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ToStdImage converts to a stdlib *image.RGBA (non-premultiplied values are
+// converted to the premultiplied form image.RGBA expects).
+func (m *Image) ToStdImage() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			c := m.At(x, y)
+			out.SetRGBA(x, y, color.RGBA{
+				R: mul255(c.R, c.A),
+				G: mul255(c.G, c.A),
+				B: mul255(c.B, c.A),
+				A: c.A,
+			})
+		}
+	}
+	return out
+}
+
+// mul255 computes round(a*b/255) exactly.
+func mul255(a, b uint8) uint8 {
+	t := uint32(a)*uint32(b) + 128
+	return uint8((t + t>>8) >> 8)
+}
+
+// CompositeOp selects how source pixels combine with the destination,
+// mirroring the subset of globalCompositeOperation values the Canvas API
+// exposes that fingerprinting scripts actually use.
+type CompositeOp uint8
+
+// Supported composite operators.
+const (
+	OpSourceOver CompositeOp = iota // default Canvas operator
+	OpDestinationOver
+	OpCopy
+	OpLighter
+	OpMultiply
+	OpXOR
+)
+
+// ParseCompositeOp maps a Canvas globalCompositeOperation string to an
+// operator. Unknown values return OpSourceOver and false, matching browsers
+// which ignore invalid assignments.
+func ParseCompositeOp(s string) (CompositeOp, bool) {
+	switch s {
+	case "source-over":
+		return OpSourceOver, true
+	case "destination-over":
+		return OpDestinationOver, true
+	case "copy":
+		return OpCopy, true
+	case "lighter":
+		return OpLighter, true
+	case "multiply":
+		return OpMultiply, true
+	case "xor":
+		return OpXOR, true
+	}
+	return OpSourceOver, false
+}
+
+// String returns the Canvas name of the operator.
+func (op CompositeOp) String() string {
+	switch op {
+	case OpSourceOver:
+		return "source-over"
+	case OpDestinationOver:
+		return "destination-over"
+	case OpCopy:
+		return "copy"
+	case OpLighter:
+		return "lighter"
+	case OpMultiply:
+		return "multiply"
+	case OpXOR:
+		return "xor"
+	}
+	return "source-over"
+}
+
+// BlendPixel composites src (with an extra coverage factor 0..255) onto the
+// pixel at (x, y) using op. All arithmetic is integer and deterministic.
+func (m *Image) BlendPixel(x, y int, src RGBA, cov uint8, op CompositeOp) {
+	if !m.InBounds(x, y) || cov == 0 {
+		return
+	}
+	sa := uint32(mul255(src.A, cov))
+	if sa == 0 && op != OpCopy {
+		return
+	}
+	i := (y*m.W + x) * 4
+	dr, dg, db, da := uint32(m.Pix[i]), uint32(m.Pix[i+1]), uint32(m.Pix[i+2]), uint32(m.Pix[i+3])
+	sr, sg, sb := uint32(src.R), uint32(src.G), uint32(src.B)
+
+	var r, g, b, a uint32
+	switch op {
+	case OpCopy:
+		r, g, b, a = sr, sg, sb, sa
+	case OpDestinationOver:
+		// dst over src: result alpha = da + sa*(1-da)
+		ia := 255 - da
+		a = da + div255(sa*ia)
+		if a == 0 {
+			r, g, b = 0, 0, 0
+		} else {
+			// Weighted by alpha contributions (non-premultiplied storage).
+			wd := da * 255
+			ws := div255(sa*ia) * 255
+			r = (dr*wd + sr*ws) / (wd + ws)
+			g = (dg*wd + sg*ws) / (wd + ws)
+			b = (db*wd + sb*ws) / (wd + ws)
+		}
+	case OpLighter:
+		a = clamp255(da + sa)
+		r = clamp255(premulDiv(dr, da) + premulDiv(sr, sa))
+		g = clamp255(premulDiv(dg, da) + premulDiv(sg, sa))
+		b = clamp255(premulDiv(db, da) + premulDiv(sb, sa))
+		if a > 0 {
+			r = clamp255(r * 255 / a)
+			g = clamp255(g * 255 / a)
+			b = clamp255(b * 255 / a)
+		}
+	case OpMultiply:
+		// Separable blend mode over source-over compositing (CSS
+		// compositing spec): where only the source covers, the source
+		// color shows; where both cover, the channel product does.
+		ws := div255(sa * (255 - da)) // source-only coverage
+		wd := div255(da * (255 - sa)) // destination-only coverage
+		wb := div255(sa * da)         // overlapping coverage
+		a = ws + wd + wb
+		if a == 0 {
+			r, g, b = 0, 0, 0
+		} else {
+			r = (sr*ws + dr*wd + div255(sr*dr)*wb) / a
+			g = (sg*ws + dg*wd + div255(sg*dg)*wb) / a
+			b = (sb*ws + db*wd + div255(sb*db)*wb) / a
+		}
+	case OpXOR:
+		isa := 255 - sa
+		ida := 255 - da
+		a = div255(sa*ida) + div255(da*isa)
+		if a == 0 {
+			r, g, b = 0, 0, 0
+		} else {
+			ws := div255(sa * ida)
+			wd := div255(da * isa)
+			r = (sr*ws + dr*wd) / (ws + wd)
+			g = (sg*ws + dg*wd) / (ws + wd)
+			b = (sb*ws + db*wd) / (ws + wd)
+		}
+	default: // OpSourceOver
+		ia := 255 - sa
+		a = sa + div255(da*ia)
+		if a == 0 {
+			r, g, b = 0, 0, 0
+		} else {
+			// out = (src*sa + dst*da*(1-sa)) / out_a, all channels 0..255.
+			wd := div255(da * ia)
+			r = (sr*sa + dr*wd) / a
+			g = (sg*sa + dg*wd) / a
+			b = (sb*sa + db*wd) / a
+		}
+	}
+	m.Pix[i] = uint8(r)
+	m.Pix[i+1] = uint8(g)
+	m.Pix[i+2] = uint8(b)
+	m.Pix[i+3] = uint8(a)
+}
+
+func div255(v uint32) uint32 {
+	return (v + 128 + ((v + 128) >> 8)) >> 8
+}
+
+func clamp255(v uint32) uint32 {
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+func premulDiv(c, a uint32) uint32 { return div255(c * a) }

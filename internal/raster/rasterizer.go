@@ -1,0 +1,224 @@
+package raster
+
+import (
+	"math"
+	"sort"
+
+	"canvassing/internal/geom"
+)
+
+// FillRule selects the polygon interior test.
+type FillRule uint8
+
+// Fill rules matching the Canvas API "nonzero" and "evenodd" keywords.
+const (
+	NonZero FillRule = iota
+	EvenOdd
+)
+
+// subSamples is the number of vertical subsample rows per pixel. Horizontal
+// coverage is computed analytically per span, so total coverage resolution
+// is 4 rows × exact span overlap.
+const subSamples = 4
+
+// edge is a directed polygon edge in device space.
+type edge struct {
+	x0, y0, x1, y1 float64
+	dir            int8 // +1 downward, -1 upward
+}
+
+// Rasterizer accumulates polygon outlines and renders them with
+// anti-aliased coverage into an Image. A Rasterizer may be reused by
+// calling Reset.
+type Rasterizer struct {
+	edges        []edge
+	minY, maxY   float64
+	covRow       []float64
+	crossings    []crossing
+	haveGeometry bool
+}
+
+type crossing struct {
+	x   float64
+	dir int8
+}
+
+// NewRasterizer returns an empty rasterizer.
+func NewRasterizer() *Rasterizer {
+	return &Rasterizer{minY: math.Inf(1), maxY: math.Inf(-1)}
+}
+
+// Reset discards accumulated geometry, retaining buffers.
+func (r *Rasterizer) Reset() {
+	r.edges = r.edges[:0]
+	r.minY, r.maxY = math.Inf(1), math.Inf(-1)
+	r.haveGeometry = false
+}
+
+// AddPolygon adds a closed polygon outline given by pts (the closing edge
+// from the last to the first point is implicit). Degenerate inputs with
+// fewer than three points are ignored.
+func (r *Rasterizer) AddPolygon(pts []geom.Point) {
+	if len(pts) < 3 {
+		return
+	}
+	for i := 0; i < len(pts); i++ {
+		j := (i + 1) % len(pts)
+		r.addEdge(pts[i], pts[j])
+	}
+}
+
+func (r *Rasterizer) addEdge(a, b geom.Point) {
+	if a.Y == b.Y {
+		return // horizontal edges never cross a scanline
+	}
+	e := edge{x0: a.X, y0: a.Y, x1: b.X, y1: b.Y, dir: 1}
+	if a.Y > b.Y {
+		e = edge{x0: b.X, y0: b.Y, x1: a.X, y1: a.Y, dir: -1}
+	}
+	r.edges = append(r.edges, e)
+	r.minY = math.Min(r.minY, e.y0)
+	r.maxY = math.Max(r.maxY, e.y1)
+	r.haveGeometry = true
+}
+
+// Options configures a Rasterize call.
+type Options struct {
+	Rule  FillRule
+	Op    CompositeOp
+	Alpha uint8 // global alpha 0..255 applied on top of paint alpha
+	// CoverageLUT optionally remaps the 0..255 anti-aliasing coverage
+	// before blending. Machine profiles use this to model GPU/driver
+	// differences in anti-aliasing: the LUT must be monotone with
+	// LUT[0]==0 so geometry is unchanged while edge pixels differ.
+	CoverageLUT *[256]uint8
+	// Clip, when non-nil, restricts rendering to the given device-space
+	// rectangle (used for ctx.clip with rectangular clips).
+	Clip *geom.Rect
+}
+
+// Rasterize renders the accumulated geometry into img with paint.
+func (r *Rasterizer) Rasterize(img *Image, paint Paint, opt Options) {
+	if !r.haveGeometry || img.W == 0 || img.H == 0 {
+		return
+	}
+	y0 := int(math.Floor(r.minY))
+	y1 := int(math.Ceil(r.maxY))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > img.H {
+		y1 = img.H
+	}
+	clipX0, clipX1 := 0.0, float64(img.W)
+	if opt.Clip != nil {
+		clipX0 = math.Max(clipX0, opt.Clip.Min.X)
+		clipX1 = math.Min(clipX1, opt.Clip.Max.X)
+		if cy0 := int(math.Floor(opt.Clip.Min.Y)); cy0 > y0 {
+			y0 = cy0
+		}
+		if cy1 := int(math.Ceil(opt.Clip.Max.Y)); cy1 < y1 {
+			y1 = cy1
+		}
+		if clipX0 >= clipX1 || y0 >= y1 {
+			return
+		}
+	}
+	if cap(r.covRow) < img.W {
+		r.covRow = make([]float64, img.W)
+	}
+	cov := r.covRow[:img.W]
+
+	for y := y0; y < y1; y++ {
+		for i := range cov {
+			cov[i] = 0
+		}
+		rowHasCoverage := false
+		for sub := 0; sub < subSamples; sub++ {
+			sy := float64(y) + (float64(sub)+0.5)/subSamples
+			r.crossings = r.crossings[:0]
+			for _, e := range r.edges {
+				if sy < e.y0 || sy >= e.y1 {
+					continue
+				}
+				x := e.x0 + (sy-e.y0)*(e.x1-e.x0)/(e.y1-e.y0)
+				r.crossings = append(r.crossings, crossing{x: x, dir: e.dir})
+			}
+			if len(r.crossings) < 2 {
+				continue
+			}
+			sort.Slice(r.crossings, func(i, j int) bool {
+				return r.crossings[i].x < r.crossings[j].x
+			})
+			winding := 0
+			for i := 0; i < len(r.crossings)-1; i++ {
+				winding += int(r.crossings[i].dir)
+				inside := winding != 0
+				if opt.Rule == EvenOdd {
+					inside = (i % 2) == 0
+				}
+				if !inside {
+					continue
+				}
+				xa := math.Max(r.crossings[i].x, clipX0)
+				xb := math.Min(r.crossings[i+1].x, clipX1)
+				if xb <= xa {
+					continue
+				}
+				accumulateSpan(cov, xa, xb, 1.0/subSamples)
+				rowHasCoverage = true
+			}
+		}
+		if !rowHasCoverage {
+			continue
+		}
+		for x := 0; x < img.W; x++ {
+			c := cov[x]
+			if c <= 0 {
+				continue
+			}
+			if c > 1 {
+				c = 1
+			}
+			cv := uint8(math.Floor(c*255 + 0.5))
+			if opt.CoverageLUT != nil {
+				cv = opt.CoverageLUT[cv]
+			}
+			if cv == 0 {
+				continue
+			}
+			src := paint.ColorAt(x, y)
+			if opt.Alpha != 0xFF {
+				src.A = mul255(src.A, opt.Alpha)
+			}
+			img.BlendPixel(x, y, src, cv, opt.Op)
+		}
+	}
+}
+
+// accumulateSpan adds weight×overlap coverage for the horizontal span
+// [xa, xb) into cov, handling fractional pixel boundaries.
+func accumulateSpan(cov []float64, xa, xb, weight float64) {
+	if xa < 0 {
+		xa = 0
+	}
+	if xb > float64(len(cov)) {
+		xb = float64(len(cov))
+	}
+	if xb <= xa {
+		return
+	}
+	ix0 := int(math.Floor(xa))
+	ix1 := int(math.Ceil(xb)) - 1
+	if ix0 == ix1 {
+		cov[ix0] += (xb - xa) * weight
+		return
+	}
+	cov[ix0] += (float64(ix0+1) - xa) * weight
+	for x := ix0 + 1; x < ix1; x++ {
+		cov[x] += weight
+	}
+	if ix1 < len(cov) {
+		cov[ix1] += (xb - float64(ix1)) * weight
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Title", "name", "count")
+	tab.AddRow("a", 1)
+	tab.AddRow("longer-name", 12345)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	// Header, separator and both rows share the same width.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("separator: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "longer-name") || !strings.Contains(lines[4], "12345") {
+		t.Fatalf("row: %q", lines[4])
+	}
+	// Column starts align between header and rows.
+	idxHeader := strings.Index(lines[1], "count")
+	idxRow := strings.Index(lines[4], "12345")
+	if idxHeader != idxRow {
+		t.Fatalf("misaligned columns: %d vs %d", idxHeader, idxRow)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(3.14159)
+	if !strings.Contains(tab.String(), "3.1") || strings.Contains(tab.String(), "3.14159") {
+		t.Fatalf("float should render with one decimal: %q", tab.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("half bar: %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("clamped bar")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Fatal("zero max")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Fatal("negative value")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 8) != "12.5%" {
+		t.Fatalf("pct: %q", Pct(1, 8))
+	}
+	if Pct(3, 0) != "-" {
+		t.Fatal("zero denominator")
+	}
+	if Pct(0, 5) != "0.0%" {
+		t.Fatal("zero numerator")
+	}
+}
+
+func TestPaperVsMeasured(t *testing.T) {
+	line := PaperVsMeasured("metric", "10%", "11%")
+	if !strings.Contains(line, "paper: 10%") || !strings.Contains(line, "measured: 11%") {
+		t.Fatalf("line: %q", line)
+	}
+}

@@ -1,0 +1,109 @@
+package services
+
+// Benign canvas scripts: toDataURL users that are NOT fingerprinting.
+// The detection heuristics (§3.2) must exclude all of these; the E10
+// experiment audits exactly that.
+
+// BenignKind identifies a benign canvas-usage pattern.
+type BenignKind string
+
+// Benign script kinds observed in the paper's appendix A.2.
+const (
+	// BenignWebP probes webp encoding support via a tiny canvas
+	// (dailynews.com, smule.com, tinder.com, nj.gov do this).
+	BenignWebP BenignKind = "webp-check"
+	// BenignEmoji probes emoji rendering support on a small canvas.
+	BenignEmoji BenignKind = "emoji-check"
+	// BenignSmall extracts a tiny (< 16x16) canvas, typically uniform
+	// color (lacounty.gov's 12x12, betus.com.pa's 5x5).
+	BenignSmall BenignKind = "small-canvas"
+	// BenignEditor is an image-manipulation tool exporting JPEG and
+	// using animation-style save/restore sequences.
+	BenignEditor BenignKind = "image-editor"
+	// BenignChart draws a chart but never extracts pixels.
+	BenignChart BenignKind = "chart"
+)
+
+// BenignKinds lists all benign script kinds.
+func BenignKinds() []BenignKind {
+	return []BenignKind{BenignWebP, BenignEmoji, BenignSmall, BenignEditor, BenignChart}
+}
+
+// BenignSource returns the script text for a benign canvas user.
+func BenignSource(kind BenignKind) string {
+	switch kind {
+	case BenignWebP:
+		return `
+// Feature detection: can this browser encode webp?
+var __wpc = document.createElement('canvas');
+__wpc.width = 1; __wpc.height = 1;
+var __wpu = __wpc.toDataURL('image/webp');
+window.__supportsWebP = __wpu.indexOf('data:image/webp') === 0;
+`
+	case BenignEmoji:
+		return `
+// Feature detection: does this platform render emoji glyphs?
+var __emc = document.createElement('canvas');
+__emc.width = 12; __emc.height = 12;
+var __emx = __emc.getContext('2d');
+__emx.textBaseline = 'top';
+__emx.font = '10px Arial';
+__emx.fillText('😃', 0, 0);
+var __emd = __emx.getImageData(0, 0, 12, 12).data;
+var __emSum = 0;
+for (var i = 0; i < __emd.length; i += 4) { __emSum += __emd[i + 3]; }
+window.__supportsEmoji = __emSum > 0;
+__emc.toDataURL();
+`
+	case BenignSmall:
+		return `
+// Tiny uniform canvas extraction (purpose unclear in the wild, but
+// far too small to fingerprint).
+var __smc = document.createElement('canvas');
+__smc.width = 5; __smc.height = 5;
+var __smx = __smc.getContext('2d');
+__smx.fillStyle = '#dddddd';
+__smx.fillRect(0, 0, 5, 5);
+window.__smPixel = __smc.toDataURL();
+`
+	case BenignEditor:
+		return `
+// In-browser image editor: draws layers with save/restore and exports
+// the composition — animation-shaped (save/restore), so excluded.
+var __edc = document.createElement('canvas');
+__edc.width = 320; __edc.height = 240;
+var __edx = __edc.getContext('2d');
+__edx.fillStyle = '#87ceeb';
+__edx.fillRect(0, 0, 320, 240);
+for (var frame = 0; frame < 4; frame++) {
+	__edx.save();
+	__edx.translate(40 + frame * 20, 120);
+	__edx.rotate(frame * 0.2);
+	__edx.fillStyle = 'rgba(200, 80, 40, 0.8)';
+	__edx.fillRect(-15, -15, 30, 30);
+	__edx.restore();
+}
+window.__editorExport = __edc.toDataURL();
+`
+	case BenignChart:
+		return `
+// Charting library: heavy canvas use, zero extraction.
+var __chc = document.createElement('canvas');
+__chc.width = 400; __chc.height = 200;
+var __chx = __chc.getContext('2d');
+__chx.strokeStyle = '#4682b4';
+__chx.lineWidth = 2;
+__chx.beginPath();
+__chx.moveTo(10, 180);
+var vals = [120, 80, 140, 60, 100, 40, 90];
+for (var i = 0; i < vals.length; i++) {
+	__chx.lineTo(40 + i * 50, vals[i]);
+}
+__chx.stroke();
+__chx.font = '10px Arial';
+__chx.fillStyle = '#333';
+__chx.fillText('weekly sessions', 10, 14);
+`
+	}
+	return ""
+}

@@ -1,0 +1,636 @@
+package services
+
+import "fmt"
+
+// jsHashHelper is the hashing routine shared (copy-pasted, as vendors do)
+// across fingerprinting scripts: djb2 over the data URL.
+const jsHashHelper = `
+function __fpHash(s) {
+	var h = 5381;
+	for (var i = 0; i < s.length; i++) {
+		h = ((h << 5) + h + s.charCodeAt(i)) & 0x7fffffff;
+	}
+	return h;
+}
+`
+
+// jsConsistencyCheck renders the same canvas twice and compares the
+// extractions — Algorithm 1 from the paper's appendix. renderFn must be
+// the name of a zero-argument function returning a data URL.
+func jsConsistencyCheck(renderFn, resultVar string) string {
+	return fmt.Sprintf(`
+var __first = %[1]s();
+var __second = %[1]s();
+if (__first === __second) {
+	%[2]s = __fpHash(__first);
+} else {
+	// Canvas randomization detected: disregard the canvas component.
+	%[2]s = 0;
+}
+`, renderFn, resultVar)
+}
+
+func akamai() *Vendor {
+	v := &Vendor{
+		Name:               "Akamai",
+		Slug:               "akamai",
+		Category:           CategorySecurity,
+		ScriptHost:         "", // served from the customer's own origin
+		ScriptPath:         "/akam/13/5ab2ec9e",
+		URLPattern:         "/akam/",
+		HasDemo:            true,
+		DemoDomain:         "bot-demo.akamai.com",
+		InconsistencyCheck: true,
+		ServingWeights: map[ServingMode]float64{
+			// Akamai fronts the site itself, so its sensor script is
+			// always same-origin (footnote 5: first-party exception).
+			ServeFirstParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Akamai Bot Manager") + jsHashHelper + `
+function __akamRender() {
+	var c = document.createElement('canvas');
+	c.width = 280; c.height = 60;
+	var x = c.getContext('2d');
+	x.textBaseline = 'top';
+	x.font = '14px Arial';
+	x.fillStyle = '#f60';
+	x.fillRect(125, 1, 62, 20);
+	x.fillStyle = '#069';
+	x.fillText('BotMan,sensor <canvas> 1.0', 2, 15);
+	x.fillStyle = 'rgba(102, 204, 0, 0.7)';
+	x.fillText('BotMan,sensor <canvas> 1.0', 4, 17);
+	x.globalCompositeOperation = 'multiply';
+	x.fillStyle = 'rgb(255,0,255)';
+	x.beginPath(); x.arc(225, 35, 20, 0, Math.PI * 2, true); x.closePath(); x.fill();
+	return c.toDataURL();
+}
+var __akamSignal = 0;
+` + jsConsistencyCheck("__akamRender", "__akamSignal") + `
+window.__akam_bm = __akamSignal;
+`
+	}
+	return v
+}
+
+func fingerprintJS() *Vendor {
+	v := &Vendor{
+		Name:       "FingerprintJS",
+		Slug:       "fingerprintjs",
+		Category:   CategoryMixed,
+		ScriptHost: "fpnpmcdn.net",
+		ScriptPath: "/v3/fp.min.js",
+		URLPattern: "fpnpmcdn.net",
+		HasDemo:    true,
+		DemoDomain: "demo.fingerprint.com",
+		KnownCustomers: []string{
+			"checkout-flow.example", "travel-fare.example",
+		},
+		InconsistencyCheck: true,
+		ServingWeights: map[ServingMode]float64{
+			// Mostly the OSS library bundled into first-party JS; the
+			// commercial tier uses fpnpmcdn.net or a Cloudflare worker.
+			ServeFirstParty: 0.62,
+			ServeThirdParty: 0.28,
+			ServeCDN:        0.06,
+			ServeCNAME:      0.04,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("FingerprintJS") + jsHashHelper + `
+function __fpjsWinding() {
+	var c = document.createElement('canvas');
+	c.width = 1; c.height = 1;
+	var x = c.getContext('2d');
+	x.rect(0, 0, 10, 10);
+	x.rect(2, 2, 6, 6);
+	return x.globalCompositeOperation;
+}
+function __fpjsText() {
+	var c = document.createElement('canvas');
+	c.width = 240; c.height = 60;
+	var x = c.getContext('2d');
+	x.textBaseline = 'alphabetic';
+	x.fillStyle = '#f60';
+	x.fillRect(100, 1, 62, 20);
+	x.fillStyle = '#069';
+	x.font = '11pt "Times New Roman"';
+	var printedText = 'Cwm fjordbank gly 😃';
+	x.fillText(printedText, 2, 15);
+	x.fillStyle = 'rgba(102, 204, 0, 0.2)';
+	x.font = '18pt Arial';
+	x.fillText(printedText, 4, 45);
+	return c.toDataURL();
+}
+function __fpjsGeometry() {
+	var c = document.createElement('canvas');
+	c.width = 122; c.height = 110;
+	var x = c.getContext('2d');
+	x.globalCompositeOperation = 'multiply';
+	var colors = ['#f2f', '#2ff', '#ff2'];
+	var offsets = [[40, 40], [80, 40], [60, 80]];
+	for (var i = 0; i < 3; i++) {
+		x.fillStyle = colors[i];
+		x.beginPath();
+		x.arc(offsets[i][0], offsets[i][1], 40, 0, Math.PI * 2, true);
+		x.closePath();
+		x.fill();
+	}
+	x.fillStyle = '#f9c';
+	x.arc(60, 60, 60, Math.PI * 1.5, Math.PI, false);
+	x.fill();
+	return c.toDataURL();
+}
+var __fpjsTextSignal = 0;
+` + jsConsistencyCheck("__fpjsText", "__fpjsTextSignal") + `
+// The library never lets a canvas failure break the host page.
+var __fpjsGeomSignal = 0;
+try {
+	__fpjsGeomSignal = __fpHash(__fpjsGeometry()) ^ __fpHash(__fpjsWinding());
+} catch (e) {
+	__fpjsGeomSignal = -1; // "unsupported" marker, as fpjs reports
+}
+window.__fpjs_visitor = __fpjsTextSignal ^ __fpjsGeomSignal;
+`
+	}
+	return v
+}
+
+func fingerprintJSLegacy() *Vendor {
+	v := &Vendor{
+		Name:       "FingerprintJS (legacy)",
+		Slug:       "fingerprintjs-legacy",
+		Category:   CategoryMixed,
+		ScriptHost: "fpnpmcdn.net",
+		ScriptPath: "/v2/fp2.js",
+		URLPattern: "fpnpmcdn.net/v2",
+		HasDemo:    false,
+		KnownCustomers: []string{
+			"forum-archive.example",
+		},
+		InconsistencyCheck: false,
+		ServingWeights: map[ServingMode]float64{
+			ServeFirstParty: 0.75,
+			ServeThirdParty: 0.25,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		// The ~2020 library draws a different layout — one canvas, no
+		// emoji, no double-render check — so it clusters separately from
+		// the modern script (§4.3.1).
+		return header("fingerprintjs2") + jsHashHelper + `
+function __fp2Canvas() {
+	var c = document.createElement('canvas');
+	c.width = 2000; c.height = 200;
+	var x = c.getContext('2d');
+	x.rect(0, 0, 10, 10);
+	x.rect(2, 2, 6, 6);
+	x.textBaseline = 'alphabetic';
+	x.fillStyle = '#f60';
+	x.fillRect(125, 1, 62, 20);
+	x.fillStyle = '#069';
+	x.font = '11pt no-real-font-123';
+	x.fillText('Cwm fjordbank glyphs vext quiz,', 2, 15);
+	x.fillStyle = 'rgba(102, 204, 0, 0.2)';
+	x.font = '18pt Arial';
+	x.fillText('Cwm fjordbank glyphs vext quiz,', 4, 45);
+	return c.toDataURL();
+}
+window.__fp2_murmur = __fpHash(__fp2Canvas());
+`
+	}
+	return v
+}
+
+func mailRU() *Vendor {
+	v := &Vendor{
+		Name:       "mail.ru",
+		Slug:       "mailru",
+		Category:   CategoryMarketing,
+		ScriptHost: "privacy-cs.mail.ru",
+		ScriptPath: "/top/counter.js",
+		URLPattern: "privacy-cs.mail.ru",
+		HasDemo:    false,
+		KnownCustomers: []string{
+			"news-portal.example.ru",
+		},
+		InconsistencyCheck: false,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.9,
+			ServeFirstParty: 0.1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Mail.Ru Group Top100") + jsHashHelper + `
+function __mrCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 300; c.height = 40;
+	var x = c.getContext('2d');
+	x.font = '13px Tahoma';
+	x.fillStyle = '#36c';
+	x.fillText('Top100 mail.ru schetchik 9', 5, 18);
+	x.strokeStyle = '#c63';
+	x.lineWidth = 2;
+	x.beginPath();
+	x.moveTo(5, 28); x.lineTo(140, 24); x.lineTo(260, 33);
+	x.stroke();
+	x.globalAlpha = 0.6;
+	x.fillStyle = '#693';
+	x.fillRect(180, 4, 80, 12);
+	return c.toDataURL();
+}
+function __mrProbe() {
+	var c = document.createElement('canvas');
+	c.width = 120; c.height = 30;
+	var x = c.getContext('2d');
+	x.font = 'bold 11px Arial';
+	x.fillStyle = '#168de2';
+	x.fillText('VK (R) top.mail.ru', 3, 20);
+	x.strokeStyle = '#f60';
+	x.beginPath();
+	x.arc(100, 14, 9, 0.4, 5.2, false);
+	x.stroke();
+	return c.toDataURL();
+}
+window.__tns_counter = __fpHash(__mrCanvas()) ^ __fpHash(__mrProbe());
+`
+	}
+	return v
+}
+
+func imperva() *Vendor {
+	v := &Vendor{
+		Name:       "Imperva",
+		Slug:       "imperva",
+		Category:   CategorySecurity,
+		ScriptHost: "", // first-party path with a site-specific name
+		ScriptPath: "/Advanced-Protection",
+		URLPattern: "", // identified via the A.3 regexp, not a substring
+		// Imperva's defining property: each deployment renders a canvas
+		// unique to that site, so grouping cannot link its customers.
+		PerSiteCanvas:      true,
+		HasDemo:            false,
+		InconsistencyCheck: false,
+		ServingWeights: map[ServingMode]float64{
+			ServeFirstParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Imperva Advanced Bot Protection") + jsHashHelper + fmt.Sprintf(`
+var __impervaSiteTag = %q;
+function __impvRender() {
+	var c = document.createElement('canvas');
+	c.width = 260; c.height = 48;
+	var x = c.getContext('2d');
+	x.font = '12px Courier';
+	x.fillStyle = '#222';
+	// The per-deployment token makes this canvas unique to the site.
+	x.fillText('abp:' + __impervaSiteTag, 4, 14);
+	x.fillStyle = '#b00';
+	x.fillRect(4, 20, (__fpHash(__impervaSiteTag) %% 180) + 20, 8);
+	x.beginPath();
+	x.arc(220, 30, 12, 0, Math.PI * 2, false);
+	x.fillStyle = '#07a';
+	x.fill();
+	return c.toDataURL();
+}
+window.__impv_abp = __fpHash(__impvRender());
+`, p.SiteDomain)
+	}
+	return v
+}
+
+func awsFirewall() *Vendor {
+	v := &Vendor{
+		Name:       "AWS Firewall",
+		Slug:       "aws-waf",
+		Category:   CategorySecurity,
+		ScriptHost: "token.awswaf.com",
+		ScriptPath: "/challenge.js",
+		URLPattern: "awswaf.com",
+		HasDemo:    false,
+		KnownCustomers: []string{
+			"aws-shop.example",
+		},
+		InconsistencyCheck: false,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("AWS WAF JavaScript SDK") + jsHashHelper + `
+function __wafCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 200; c.height = 50;
+	var x = c.getContext('2d');
+	x.fillStyle = '#f90';
+	x.beginPath();
+	x.moveTo(10, 40); x.lineTo(50, 8); x.lineTo(90, 40);
+	x.closePath(); x.fill();
+	x.strokeStyle = '#146eb4';
+	x.lineWidth = 3;
+	x.strokeRect(100, 8, 80, 32);
+	x.font = '10px Verdana';
+	x.fillStyle = '#146eb4';
+	x.fillText('awswaf integrity 2.1', 104, 28);
+	return c.toDataURL();
+}
+window.__aws_waf_token = __fpHash(__wafCanvas());
+`
+	}
+	return v
+}
+
+func insurAds() *Vendor {
+	v := &Vendor{
+		Name:       "InsurAds",
+		Slug:       "insurads",
+		Category:   CategoryMarketing,
+		ScriptHost: "cdn.insurads.com",
+		ScriptPath: "/bootstrap.js",
+		URLPattern: "insurads.com",
+		HasDemo:    true,
+		DemoDomain: "demo.insurads.com",
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("InsurAds Attention") + jsHashHelper + `
+function __insCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 180; c.height = 44;
+	var x = c.getContext('2d');
+	var g = x.createLinearGradient(0, 0, 180, 0);
+	g.addColorStop(0, '#0c6');
+	g.addColorStop(0.5, '#fc0');
+	g.addColorStop(1, '#c06');
+	x.fillStyle = g;
+	x.fillRect(0, 0, 180, 24);
+	x.font = '11px Helvetica';
+	x.fillStyle = '#124';
+	x.fillText('attention-rtuo 360', 8, 38);
+	return c.toDataURL();
+}
+window.__insurads_att = __fpHash(__insCanvas());
+`
+	}
+	return v
+}
+
+func signifyd() *Vendor {
+	v := &Vendor{
+		Name:       "Signifyd",
+		Slug:       "signifyd",
+		Category:   CategorySecurity,
+		ScriptHost: "cdn-scripts.signifyd.com",
+		ScriptPath: "/api/script-tag.js",
+		URLPattern: "signifyd.com",
+		HasDemo:    true,
+		DemoDomain: "demo.signifyd.com",
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.85,
+			ServeSubdomain:  0.15,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Signifyd Fraud Protection") + jsHashHelper + `
+function __sgfCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 220; c.height = 40;
+	var x = c.getContext('2d');
+	x.font = 'italic 12px Georgia';
+	x.fillStyle = '#401';
+	x.fillText('Signifyd guaranteed, fraud 0', 4, 16);
+	x.transform(1, 0.12, -0.12, 1, 120, 28);
+	x.fillStyle = 'rgba(20, 110, 180, 0.8)';
+	x.fillRect(-60, -6, 120, 10);
+	x.setTransform(1, 0, 0, 1, 0, 0);
+	return c.toDataURL();
+}
+window.__sgf_device = __fpHash(__sgfCanvas());
+`
+	}
+	return v
+}
+
+func perimeterX() *Vendor {
+	v := &Vendor{
+		Name:               "PerimeterX",
+		Slug:               "perimeterx",
+		Category:           CategorySecurity,
+		ScriptHost:         "client.px-cloud.net",
+		ScriptPath:         "/main.min.js",
+		URLPattern:         "px-cloud.net",
+		HasDemo:            true,
+		DemoDomain:         "demo.perimeterx.com",
+		InconsistencyCheck: true,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.7,
+			ServeCNAME:      0.3,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("HUMAN / PerimeterX Bot Defender") + jsHashHelper + `
+function __pxRender() {
+	var c = document.createElement('canvas');
+	c.width = 190; c.height = 60;
+	var x = c.getContext('2d');
+	x.fillStyle = '#e8e8e8';
+	x.fillRect(0, 0, 190, 60);
+	x.font = '16px Arial';
+	x.fillStyle = '#d5007f';
+	x.fillText('PX7!? <|> mosaic', 8, 22);
+	x.globalCompositeOperation = 'xor';
+	x.beginPath();
+	x.ellipse(120, 38, 40, 14, 0.5, 0, Math.PI * 2, false);
+	x.fillStyle = '#00b3a4';
+	x.fill();
+	return c.toDataURL();
+}
+var __pxSignal = 0;
+` + jsConsistencyCheck("__pxRender", "__pxSignal") + `
+window.__px_vid = __pxSignal;
+`
+	}
+	return v
+}
+
+func siftScience() *Vendor {
+	v := &Vendor{
+		Name:               "Sift Science",
+		Slug:               "sift",
+		Category:           CategorySecurity,
+		ScriptHost:         "cdn.sift.com",
+		ScriptPath:         "/s.js",
+		URLPattern:         "sift.com",
+		HasDemo:            true,
+		DemoDomain:         "demo.sift.com",
+		InconsistencyCheck: false,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Sift Digital Trust & Safety") + jsHashHelper + `
+function __siftRender() {
+	var c = document.createElement('canvas');
+	c.width = 210; c.height = 48;
+	var x = c.getContext('2d');
+	x.font = '13px "Courier New"';
+	x.fillStyle = '#325';
+	x.fillText('sift trust{&}safety 🔒', 4, 18);
+	x.lineCap = 'round';
+	x.lineWidth = 5;
+	x.strokeStyle = '#fa0';
+	x.beginPath();
+	x.moveTo(10, 36);
+	x.quadraticCurveTo(100, 18, 200, 38);
+	x.stroke();
+	return c.toDataURL();
+}
+window.__sift_beacon = __fpHash(__siftRender());
+`
+	}
+	return v
+}
+
+func shopify() *Vendor {
+	v := &Vendor{
+		Name:       "Shopify",
+		Slug:       "shopify",
+		Category:   CategoryHosting,
+		ScriptHost: "cdn.shopifycloud.com",
+		ScriptPath: "/perf-kit/shopify-perf-kit.min.js",
+		URLPattern: "shopifycloud",
+		HasDemo:    true,
+		DemoDomain: "perf.shopify.dev",
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		// Storefront "performance monitoring" canvas (§4.2's tail-site
+		// outlier): one benchmark-style canvas per storefront page load.
+		return header("Shopify Storefront Renderer perf-kit") + jsHashHelper + `
+function __spkCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 257; c.height = 60;
+	var x = c.getContext('2d');
+	for (var i = 0; i < 8; i++) {
+		x.fillStyle = i % 2 === 0 ? '#95bf47' : '#5e8e3e';
+		x.fillRect(i * 32, 40 - i * 3, 28, 16 + i * 3);
+	}
+	x.font = '12px Futura';
+	x.fillStyle = '#212326';
+	x.fillText('storefront-renderer p75', 6, 14);
+	return c.toDataURL();
+}
+function __spkTextBench() {
+	var c = document.createElement('canvas');
+	c.width = 180; c.height = 32;
+	var x = c.getContext('2d');
+	x.font = 'italic 13px Futura';
+	x.fillStyle = '#5e8e3e';
+	x.fillText('LCP paint budget 2.5s', 4, 21);
+	return c.toDataURL();
+}
+window.__spk_metric = __fpHash(__spkCanvas()) ^ __fpHash(__spkTextBench());
+`
+	}
+	return v
+}
+
+func adscore() *Vendor {
+	v := &Vendor{
+		Name:               "Adscore",
+		Slug:               "adscore",
+		Category:           CategorySecurity,
+		ScriptHost:         "c.adsco.re",
+		ScriptPath:         "/detect.js",
+		URLPattern:         "adsco.re",
+		HasDemo:            true,
+		DemoDomain:         "demo.adsco.re",
+		InconsistencyCheck: true,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.8,
+			ServeSubdomain:  0.2,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Adscore Invalid Traffic Detection") + jsHashHelper + `
+function __adsRender() {
+	var c = document.createElement('canvas');
+	c.width = 160; c.height = 36;
+	var x = c.getContext('2d');
+	x.font = 'bold 14px Arial';
+	x.fillStyle = '#0a5';
+	x.fillText('AdScore/9000 ivt', 4, 22);
+	x.globalAlpha = 0.4;
+	x.fillStyle = '#50a';
+	x.beginPath();
+	x.arc(130, 18, 14, 0, Math.PI * 1.4, false);
+	x.fill();
+	return c.toDataURL();
+}
+var __adsSignal = 0;
+` + jsConsistencyCheck("__adsRender", "__adsSignal") + `
+window.__adsco_re = __adsSignal;
+`
+	}
+	return v
+}
+
+func geeTest() *Vendor {
+	v := &Vendor{
+		Name:       "GeeTest",
+		Slug:       "geetest",
+		Category:   CategorySecurity,
+		ScriptHost: "static.geetest.com",
+		ScriptPath: "/v4/gt4.js",
+		URLPattern: "geetest.com",
+		HasDemo:    true,
+		DemoDomain: "demo.geetest.com",
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 1,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("GeeTest Adaptive CAPTCHA") + jsHashHelper + `
+function __gtCanvas() {
+	var c = document.createElement('canvas');
+	c.width = 120; c.height = 48;
+	var x = c.getContext('2d');
+	// Puzzle-piece silhouette.
+	x.fillStyle = '#3c6ff0';
+	x.beginPath();
+	x.moveTo(10, 12); x.lineTo(50, 12);
+	x.arc(60, 12, 10, Math.PI, 0, true);
+	x.lineTo(110, 12); x.lineTo(110, 40); x.lineTo(10, 40);
+	x.closePath(); x.fill();
+	x.font = '9px monospace';
+	x.fillStyle = '#fff';
+	x.fillText('gt4 slide 2 verify', 18, 30);
+	return c.toDataURL();
+}
+window.__geetest_probe = __fpHash(__gtCanvas());
+`
+	}
+	return v
+}
+
+// RebranderSource wraps the open-source FingerprintJS canvas in a
+// rebrander's own banner and bootstrap — the canvas bytes group with
+// FingerprintJS while the script URL and copyright point elsewhere.
+func RebranderSource(r Rebrander) string {
+	base := fingerprintJS().Source(ScriptParams{})
+	// Strip the FingerprintJS banner (first line) and substitute the
+	// rebrander's own, exactly like a vendor bundling the OSS library.
+	i := 0
+	for i < len(base) && base[i] != '\n' {
+		i++
+	}
+	return header(r.Name) + "/* bundled fingerprintjs oss */" + base[i:] +
+		fmt.Sprintf("\nwindow.__%s_uid = window.__fpjs_visitor;\n", r.Slug)
+}

@@ -1,0 +1,314 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"canvassing/internal/dom"
+	"canvassing/internal/jsvm"
+	"canvassing/internal/machine"
+)
+
+// runScript executes src on a fresh page and returns the toDataURL values
+// extracted, in order.
+func runScript(t *testing.T, src, domain string, prof *machine.Profile) []string {
+	t.Helper()
+	in := jsvm.New(jsvm.Options{RandSeed: 7})
+	doc := dom.NewDocument(prof, domain)
+	var extractions []string
+	doc.Tracer = tracerFunc(func(iface, member string, args []string, ret string) {
+		if member == "toDataURL" {
+			extractions = append(extractions, ret)
+		}
+	})
+	doc.Install(in)
+	if _, err := in.RunSource(src); err != nil {
+		t.Fatalf("script error: %v\n--- source ---\n%s", err, src)
+	}
+	return extractions
+}
+
+type tracerFunc func(iface, member string, args []string, ret string)
+
+func (f tracerFunc) Trace(iface, member string, args []string, ret string) {
+	f(iface, member, args, ret)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Fatalf("registry size = %d, want 13 (Table 1)", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, v := range reg {
+		if v.Slug == "" || v.Name == "" {
+			t.Fatalf("incomplete vendor: %+v", v)
+		}
+		if seen[v.Slug] {
+			t.Fatalf("duplicate slug %s", v.Slug)
+		}
+		seen[v.Slug] = true
+		if v.Source == nil {
+			t.Fatalf("%s has no script source", v.Slug)
+		}
+		if len(v.ServingWeights) == 0 {
+			t.Fatalf("%s has no serving weights", v.Slug)
+		}
+	}
+}
+
+func TestBySlug(t *testing.T) {
+	if BySlug("akamai") == nil || BySlug("akamai").Name != "Akamai" {
+		t.Fatal("BySlug akamai")
+	}
+	if BySlug("nope") != nil {
+		t.Fatal("unknown slug should be nil")
+	}
+}
+
+func TestEveryVendorScriptRuns(t *testing.T) {
+	for _, v := range Registry() {
+		v := v
+		t.Run(v.Slug, func(t *testing.T) {
+			src := v.Source(ScriptParams{SiteDomain: "customer.example"})
+			ex := runScript(t, src, "customer.example", machine.Intel())
+			if len(ex) == 0 {
+				t.Fatalf("%s extracted no canvases", v.Slug)
+			}
+			for _, u := range ex {
+				if !strings.HasPrefix(u, "data:image/png;base64,") {
+					t.Fatalf("%s extracted non-png: %.40s", v.Slug, u)
+				}
+			}
+		})
+	}
+}
+
+func TestVendorCanvasesAreStableAcrossSites(t *testing.T) {
+	for _, v := range Registry() {
+		if v.PerSiteCanvas {
+			continue
+		}
+		a := runScript(t, v.Source(ScriptParams{SiteDomain: "site-a.com"}), "site-a.com", machine.Intel())
+		b := runScript(t, v.Source(ScriptParams{SiteDomain: "site-b.com"}), "site-b.com", machine.Intel())
+		if len(a) != len(b) {
+			t.Fatalf("%s: extraction count differs across sites", v.Slug)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: canvas %d differs across sites — grouping would break", v.Slug, i)
+			}
+		}
+	}
+}
+
+func TestImpervaCanvasIsPerSite(t *testing.T) {
+	v := BySlug("imperva")
+	a := runScript(t, v.Source(ScriptParams{SiteDomain: "site-a.com"}), "site-a.com", machine.Intel())
+	b := runScript(t, v.Source(ScriptParams{SiteDomain: "site-b.com"}), "site-b.com", machine.Intel())
+	if a[0] == b[0] {
+		t.Fatal("Imperva canvases must differ per customer site")
+	}
+}
+
+func TestVendorCanvasesAreDistinct(t *testing.T) {
+	// The core premise: each vendor's test canvas set identifies it.
+	seen := map[string]string{}
+	for _, v := range Registry() {
+		ex := runScript(t, v.Source(ScriptParams{SiteDomain: "x.com"}), "x.com", machine.Intel())
+		for _, u := range ex {
+			if prev, ok := seen[u]; ok && prev != v.Slug {
+				// FingerprintJS legacy and modern intentionally share
+				// nothing; no two vendors may collide.
+				t.Fatalf("canvas collision between %s and %s", prev, v.Slug)
+			}
+			seen[u] = v.Slug
+		}
+	}
+}
+
+func TestVendorCanvasesDifferAcrossMachines(t *testing.T) {
+	for _, v := range Registry() {
+		src := v.Source(ScriptParams{SiteDomain: "x.com"})
+		intel := runScript(t, src, "x.com", machine.Intel())
+		m1 := runScript(t, src, "x.com", machine.AppleM1())
+		anyDiff := false
+		for i := range intel {
+			if i < len(m1) && intel[i] != m1[i] {
+				anyDiff = true
+			}
+		}
+		if !anyDiff {
+			t.Fatalf("%s renders identically on Intel and M1 — no machine entropy", v.Slug)
+		}
+	}
+}
+
+func TestInconsistencyCheckersExtractTwice(t *testing.T) {
+	for _, v := range Registry() {
+		src := v.Source(ScriptParams{SiteDomain: "x.com"})
+		ex := runScript(t, src, "x.com", machine.Intel())
+		// Count duplicate extractions (same bytes twice = double render).
+		counts := map[string]int{}
+		for _, u := range ex {
+			counts[u]++
+		}
+		hasDouble := false
+		for _, c := range counts {
+			if c >= 2 {
+				hasDouble = true
+			}
+		}
+		if v.InconsistencyCheck && !hasDouble {
+			t.Fatalf("%s should double-render its test canvas", v.Slug)
+		}
+		if !v.InconsistencyCheck && hasDouble {
+			t.Fatalf("%s unexpectedly double-renders", v.Slug)
+		}
+	}
+}
+
+func TestScriptsCarryCopyrightBanner(t *testing.T) {
+	for _, v := range Registry() {
+		src := v.Source(ScriptParams{SiteDomain: "x.com"})
+		if !strings.HasPrefix(src, "/*!") {
+			t.Fatalf("%s missing banner", v.Slug)
+		}
+	}
+}
+
+func TestSecurityCategorization(t *testing.T) {
+	// Table 1's bold (security) set.
+	security := map[string]bool{
+		"akamai": true, "imperva": true, "aws-waf": true, "signifyd": true,
+		"perimeterx": true, "sift": true, "adscore": true, "geetest": true,
+	}
+	for _, v := range Registry() {
+		if security[v.Slug] && v.Category != CategorySecurity {
+			t.Fatalf("%s should be security, got %v", v.Slug, v.Category)
+		}
+		if !security[v.Slug] && v.Category == CategorySecurity {
+			t.Fatalf("%s should not be security", v.Slug)
+		}
+	}
+	if CategorySecurity.String() != "security" || CategoryMixed.String() != "mixed" {
+		t.Fatal("category strings")
+	}
+}
+
+func TestTable3Patterns(t *testing.T) {
+	// Spot-check the Table 3 script patterns.
+	pat := map[string]string{
+		"akamai":        "/akam/",
+		"fingerprintjs": "fpnpmcdn.net",
+		"mailru":        "privacy-cs.mail.ru",
+		"aws-waf":       "awswaf.com",
+		"insurads":      "insurads.com",
+		"signifyd":      "signifyd.com",
+		"perimeterx":    "px-cloud.net",
+		"sift":          "sift.com",
+		"shopify":       "shopifycloud",
+		"adscore":       "adsco.re",
+		"geetest":       "geetest.com",
+	}
+	for slug, want := range pat {
+		v := BySlug(slug)
+		if v == nil || v.URLPattern != want {
+			t.Fatalf("%s pattern = %q, want %q", slug, v.URLPattern, want)
+		}
+	}
+	if BySlug("imperva").URLPattern != "" {
+		t.Fatal("imperva must have no substring pattern (regexp-based)")
+	}
+}
+
+func TestMatchURL(t *testing.T) {
+	ak := BySlug("akamai")
+	if !ak.MatchURL("https://www.bank.com/akam/13/5ab2ec9e") {
+		t.Fatal("akamai pattern should match first-party path")
+	}
+	if ak.MatchURL("https://www.bank.com/js/app.js") {
+		t.Fatal("should not match")
+	}
+	if BySlug("imperva").MatchURL("https://x.com/anything") {
+		t.Fatal("empty pattern never matches")
+	}
+}
+
+func TestRebranders(t *testing.T) {
+	rs := Rebranders()
+	if len(rs) != 5 {
+		t.Fatalf("rebrander count = %d, want 5", len(rs))
+	}
+	fpjs := runScript(t, BySlug("fingerprintjs").Source(ScriptParams{}), "x.com", machine.Intel())
+	for _, r := range rs {
+		src := RebranderSource(r)
+		if !strings.Contains(src, r.Name) {
+			t.Fatalf("%s banner missing", r.Slug)
+		}
+		ex := runScript(t, src, "x.com", machine.Intel())
+		// The rebrander's canvases group with FingerprintJS's.
+		match := 0
+		for _, u := range ex {
+			for _, f := range fpjs {
+				if u == f {
+					match++
+					break
+				}
+			}
+		}
+		if match == 0 {
+			t.Fatalf("%s canvases should group with FingerprintJS", r.Slug)
+		}
+	}
+}
+
+func TestBenignScriptsRun(t *testing.T) {
+	for _, kind := range BenignKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			src := BenignSource(kind)
+			if src == "" {
+				t.Fatal("empty source")
+			}
+			ex := runScript(t, src, "x.com", machine.Intel())
+			switch kind {
+			case BenignChart:
+				if len(ex) != 0 {
+					t.Fatal("chart must not extract")
+				}
+			case BenignWebP:
+				if len(ex) != 1 || !strings.HasPrefix(ex[0], "data:image/webp") {
+					t.Fatalf("webp check should extract webp: %v", ex)
+				}
+			case BenignEditor:
+				if len(ex) != 1 || !strings.HasPrefix(ex[0], "data:image/png") {
+					t.Fatalf("editor should export png: %v", ex)
+				}
+			default:
+				if len(ex) == 0 {
+					t.Fatal("should extract")
+				}
+			}
+		})
+	}
+	if BenignSource(BenignKind("nope")) != "" {
+		t.Fatal("unknown kind should be empty")
+	}
+}
+
+func TestWebPProbeSetsGlobal(t *testing.T) {
+	in := jsvm.New(jsvm.Options{})
+	doc := dom.NewDocument(machine.Intel(), "x.com")
+	doc.Install(in)
+	if _, err := in.RunSource(BenignSource(BenignWebP)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := in.RunSource("window.__supportsWebP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bool() {
+		t.Fatal("webp support probe should succeed against our canvas")
+	}
+}

@@ -1,0 +1,187 @@
+// Package services is the registry of the fingerprinting vendors the
+// paper attributes canvases to (Table 1 / Table 3): for each service it
+// holds the script source actually executed by the jsvm, the hosts and
+// URL patterns it serves from, how it is categorized (security vs
+// marketing), whether a public demo exists, and how its customers deploy
+// it (third-party include, first-party bundle, customer subdomain, CNAME
+// cloak, or shared CDN).
+package services
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Category is the public representation of a vendor's business, the
+// paper's first intent proxy (§6).
+type Category uint8
+
+// Vendor business categories.
+const (
+	CategorySecurity  Category = iota // bot/fraud detection
+	CategoryMarketing                 // advertising, attribution, analytics
+	CategoryHosting                   // platform/perf monitoring (Shopify)
+	CategoryMixed                     // advertised both ways (FingerprintJS)
+)
+
+// String returns the category label used in reports.
+func (c Category) String() string {
+	switch c {
+	case CategorySecurity:
+		return "security"
+	case CategoryMarketing:
+		return "marketing"
+	case CategoryHosting:
+		return "hosting"
+	case CategoryMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// ServingMode is how a customer deployment delivers the vendor script.
+type ServingMode uint8
+
+// Deployment serving modes (§5.2's evasion taxonomy).
+const (
+	// ServeThirdParty loads the script from the vendor's own domain.
+	ServeThirdParty ServingMode = iota
+	// ServeFirstParty bundles the vendor code into the site's own
+	// first-party JavaScript (single-page-app bundles).
+	ServeFirstParty
+	// ServeSubdomain serves from a customer subdomain (fp.customer.com)
+	// that the vendor instructs the customer to create.
+	ServeSubdomain
+	// ServeCNAME serves from a customer subdomain that is CNAME-aliased
+	// to the vendor's infrastructure.
+	ServeCNAME
+	// ServeCDN serves from a popular shared CDN.
+	ServeCDN
+)
+
+// String names the serving mode.
+func (m ServingMode) String() string {
+	switch m {
+	case ServeThirdParty:
+		return "third-party"
+	case ServeFirstParty:
+		return "first-party"
+	case ServeSubdomain:
+		return "subdomain"
+	case ServeCNAME:
+		return "cname-cloak"
+	case ServeCDN:
+		return "cdn"
+	}
+	return "unknown"
+}
+
+// ScriptParams parameterizes script generation for one deployment.
+type ScriptParams struct {
+	// SiteDomain is the customer site the script runs on. Only
+	// Imperva-style vendors bake it into the rendered canvas.
+	SiteDomain string
+}
+
+// Vendor describes one fingerprinting service.
+type Vendor struct {
+	// Name is the display name used in Table 1.
+	Name string
+	// Slug is the stable machine identifier.
+	Slug string
+	// Category is the public representation of the service.
+	Category Category
+	// ScriptHost and ScriptPath locate the canonical third-party copy.
+	ScriptHost string
+	ScriptPath string
+	// URLPattern is the Table 3 attribution substring found in script
+	// URLs of this vendor ("" when only grouping identifies it).
+	URLPattern string
+	// PerSiteCanvas marks Imperva-style vendors whose test canvas is
+	// unique per customer site (so cross-site grouping cannot link them).
+	PerSiteCanvas bool
+	// HasDemo indicates a public demo page exists for ground truth.
+	HasDemo bool
+	// DemoDomain hosts the demo when HasDemo.
+	DemoDomain string
+	// KnownCustomers are sites advertised as customers (attribution
+	// ground truth when no demo exists).
+	KnownCustomers []string
+	// InconsistencyCheck marks scripts that render the test canvas twice
+	// and compare (the §5.3 randomization probe).
+	InconsistencyCheck bool
+	// Source generates the deployment's script text.
+	Source func(p ScriptParams) string
+	// ServingWeights gives the relative frequency of each serving mode
+	// among this vendor's customers; missing modes have weight 0.
+	ServingWeights map[ServingMode]float64
+}
+
+// ScriptURLFor returns the canonical third-party URL of this vendor's
+// script.
+func (v *Vendor) ScriptURLFor() string {
+	return "https://" + v.ScriptHost + v.ScriptPath
+}
+
+// MatchURL reports whether a script URL matches this vendor's Table 3
+// pattern. Imperva's special regexp is handled by the attrib package;
+// here "" never matches.
+func (v *Vendor) MatchURL(url string) bool {
+	return v.URLPattern != "" && strings.Contains(url, v.URLPattern)
+}
+
+// Registry is the ordered vendor list. Order matches Table 1.
+func Registry() []*Vendor {
+	return []*Vendor{
+		akamai(),
+		fingerprintJS(),
+		mailRU(),
+		fingerprintJSLegacy(),
+		imperva(),
+		awsFirewall(),
+		insurAds(),
+		signifyd(),
+		perimeterX(),
+		siftScience(),
+		shopify(),
+		adscore(),
+		geeTest(),
+	}
+}
+
+// BySlug returns the vendor with the given slug, or nil.
+func BySlug(slug string) *Vendor {
+	for _, v := range Registry() {
+		if v.Slug == slug {
+			return v
+		}
+	}
+	return nil
+}
+
+// Rebrander is a company shipping the open-source FingerprintJS canvas
+// under its own brand and script URL (§4.3.1): advertising and analytics
+// firms whose canvases group with FingerprintJS's.
+type Rebrander struct {
+	Name       string
+	Slug       string
+	ScriptHost string
+	Category   Category
+}
+
+// Rebranders lists the FingerprintJS-OSS rebranders the paper names.
+func Rebranders() []Rebrander {
+	return []Rebrander{
+		{Name: "Aidata", Slug: "aidata", ScriptHost: "aidata.io", Category: CategoryMarketing},
+		{Name: "adskeeper", Slug: "adskeeper", ScriptHost: "adskeeper.com", Category: CategoryMarketing},
+		{Name: "trafficjunky", Slug: "trafficjunky", ScriptHost: "trafficjunky.net", Category: CategoryMarketing},
+		{Name: "MGID", Slug: "mgid", ScriptHost: "mgid.com", Category: CategoryMarketing},
+		{Name: "acint.net", Slug: "acint", ScriptHost: "acint.net", Category: CategoryMarketing},
+	}
+}
+
+// header renders the copyright banner that content-based attribution
+// looks for inside scripts.
+func header(name string) string {
+	return fmt.Sprintf("/*! %s device intelligence | (c) %s | all rights reserved */\n", name, name)
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks from a bounded Zipf distribution over [1, n] with
+// exponent s. Web popularity (both site traffic and vendor deployment
+// frequency) is famously heavy-tailed, and the paper's Figure 1 shows the
+// same long-tailed shape for canvas sharing, so the synthetic web uses
+// Zipf-distributed popularity throughout.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf builds a sampler over ranks 1..n with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// Rank draws a rank in [1, n].
+func (z *Zipf) Rank(r *RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i + 1
+}
+
+// WeightedChoice selects an index in [0, len(weights)) with probability
+// proportional to its weight. Zero-weight entries are never chosen.
+// It panics if weights is empty or sums to zero.
+func WeightedChoice(r *RNG, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("stats: WeightedChoice with no mass")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P90    float64
+	P99    float64
+	Stddev float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary for
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	sum, sq := 0.0, 0.0
+	for _, x := range cp {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(cp))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(cp),
+		Min:    cp[0],
+		Max:    cp[len(cp)-1],
+		Mean:   mean,
+		Median: Percentile(cp, 50),
+		P90:    Percentile(cp, 90),
+		P99:    Percentile(cp, 99),
+		Stddev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-th percentile (0..100) of sorted input using
+// nearest-rank interpolation. The input must already be sorted ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram counts observations into integer-keyed buckets.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of bucket b.
+func (h *Histogram) Add(b int) {
+	h.counts[b]++
+	h.total++
+}
+
+// Count returns the number of observations in bucket b.
+func (h *Histogram) Count(b int) int { return h.counts[b] }
+
+// Total returns the number of observations across all buckets.
+func (h *Histogram) Total() int { return h.total }
+
+// Buckets returns the observed bucket keys in ascending order.
+func (h *Histogram) Buckets() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// TopK returns the k buckets with the highest counts, ties broken by the
+// smaller bucket key, as (bucket, count) pairs in descending count order.
+func (h *Histogram) TopK(k int) [][2]int {
+	pairs := make([][2]int, 0, len(h.counts))
+	for b, c := range h.counts {
+		pairs = append(pairs, [2]int{b, c})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][1] != pairs[j][1] {
+			return pairs[i][1] > pairs[j][1]
+		}
+		return pairs[i][0] < pairs[j][0]
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs
+}

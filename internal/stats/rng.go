@@ -1,0 +1,148 @@
+// Package stats provides deterministic pseudo-randomness and small
+// statistical helpers used throughout the simulator.
+//
+// Everything in this repository must be reproducible from a single seed:
+// the synthetic web, machine profiles, crawl jitter and workload generators
+// all draw from RNGs created here. The generator is SplitMix64, which is
+// fast, passes BigCrush, and — unlike math/rand's global state — lets us
+// derive independent, stable substreams from string labels so that adding
+// a new consumer never perturbs existing streams.
+package stats
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent substream identified by label.
+// Forking is stable: the same (parent seed, label) pair always yields the
+// same substream, and forking does not advance the parent.
+func (r *RNG) Fork(label string) *RNG {
+	return &RNG{state: mix64(r.state ^ HashString(label))}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	return mix64(r.state)
+}
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box–Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Avoid log(0) by nudging u1 away from zero.
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element of xs. It panics on empty input.
+func Pick[T any](r *RNG, xs []T) T {
+	if len(xs) == 0 {
+		panic("stats: Pick from empty slice")
+	}
+	return xs[r.Intn(len(xs))]
+}
+
+// Sample returns k distinct elements drawn without replacement from xs,
+// in pseudo-random order. If k >= len(xs) a shuffled copy is returned.
+func Sample[T any](r *RNG, xs []T, k int) []T {
+	cp := make([]T, len(xs))
+	copy(cp, xs)
+	r.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	if k >= len(cp) {
+		return cp
+	}
+	return cp[:k]
+}
+
+// HashString returns a stable 64-bit FNV-1a hash of s.
+// It is used to derive substream seeds and deterministic per-entity noise.
+func HashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// HashBytes returns a stable 64-bit FNV-1a hash of b.
+func HashBytes(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,334 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestForkStable(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork("web")
+	f2 := parent.Fork("web")
+	if f1.Uint64() != f2.Uint64() {
+		t.Fatal("same label fork must yield identical stream")
+	}
+	f3 := parent.Fork("crawler")
+	f4 := parent.Fork("web")
+	if f3.Uint64() == f4.Uint64() {
+		t.Fatal("different labels should yield different streams")
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	a := NewRNG(9)
+	b := NewRNG(9)
+	_ = a.Fork("x")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork advanced parent state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(6)
+	n := 100000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickAndSample(t *testing.T) {
+	r := NewRNG(10)
+	xs := []string{"a", "b", "c", "d"}
+	got := Pick(r, xs)
+	found := false
+	for _, x := range xs {
+		if x == got {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Pick returned foreign element %q", got)
+	}
+	s := Sample(r, xs, 2)
+	if len(s) != 2 {
+		t.Fatalf("Sample size = %d", len(s))
+	}
+	if s[0] == s[1] {
+		t.Fatal("Sample returned duplicate")
+	}
+	all := Sample(r, xs, 10)
+	if len(all) != 4 {
+		t.Fatalf("oversized Sample should return all elements, got %d", len(all))
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("akamai") != HashString("akamai") {
+		t.Fatal("hash not stable")
+	}
+	if HashString("akamai") == HashString("akamaj") {
+		t.Fatal("trivial collision")
+	}
+	if HashString("") == 0 {
+		t.Fatal("empty hash should be FNV offset, not 0")
+	}
+}
+
+func TestHashBytesMatchesHashString(t *testing.T) {
+	if HashBytes([]byte("xyz")) != HashString("xyz") {
+		t.Fatal("HashBytes and HashString disagree")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(1000, 1.0)
+	h := NewHistogram()
+	for i := 0; i < 50000; i++ {
+		h.Add(z.Rank(r))
+	}
+	if h.Count(1) <= h.Count(100) {
+		t.Fatalf("rank 1 (%d) should dominate rank 100 (%d)", h.Count(1), h.Count(100))
+	}
+	// Rank-1 mass for s=1, n=1000 is 1/H(1000) ≈ 0.133.
+	frac := float64(h.Count(1)) / 50000
+	if frac < 0.10 || frac > 0.17 {
+		t.Fatalf("rank-1 mass = %v, want ≈0.133", frac)
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	r := NewRNG(12)
+	z := NewZipf(10, 1.2)
+	for i := 0; i < 10000; i++ {
+		rank := z.Rank(r)
+		if rank < 1 || rank > 10 {
+			t.Fatalf("rank out of bounds: %d", rank)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRNG(13)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[WeightedChoice(r, []float64{1, 2, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Fatal("zero-weight entry was chosen")
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("weight ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("p50 = %v", got)
+	}
+}
+
+func TestHistogramTopK(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(2)
+	}
+	h.Add(3)
+	top := h.TopK(2)
+	if len(top) != 2 || top[0] != [2]int{1, 5} || top[1] != [2]int{2, 3} {
+		t.Fatalf("TopK = %v", top)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Buckets(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Buckets = %v", got)
+	}
+}
+
+// Property: Perm always returns a valid permutation for any size/seed.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		p := NewRNG(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fork substreams with distinct labels are distinct.
+func TestForkProperty(t *testing.T) {
+	f := func(seed uint64, a, b string) bool {
+		r := NewRNG(seed)
+		if a == b {
+			return r.Fork(a).Uint64() == r.Fork(b).Uint64()
+		}
+		return r.Fork(a).Uint64() != r.Fork(b).Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize min <= median <= max and min <= mean <= max.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	r := NewRNG(1)
+	z := NewZipf(1_000_000, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank(r)
+	}
+}

@@ -1,0 +1,124 @@
+// Package tranco reads and writes Tranco-format ranking lists — the CSV
+// "rank,domain" format of the research-oriented top-sites ranking the
+// paper samples from (§3). The synthetic web exports its ranking in this
+// format so external tooling (and curious humans) can treat the generated
+// world exactly like a real crawl target list.
+package tranco
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"canvassing/internal/stats"
+)
+
+// Entry is one ranked domain.
+type Entry struct {
+	Rank   int
+	Domain string
+}
+
+// List is a Tranco-style ranking, ordered by rank ascending.
+type List struct {
+	entries []Entry
+	byRank  map[int]string
+}
+
+// New builds a list from entries; they are sorted and validated.
+func New(entries []Entry) (*List, error) {
+	l := &List{byRank: map[int]string{}}
+	for _, e := range entries {
+		if e.Rank <= 0 {
+			return nil, fmt.Errorf("tranco: invalid rank %d", e.Rank)
+		}
+		if e.Domain == "" {
+			return nil, fmt.Errorf("tranco: empty domain at rank %d", e.Rank)
+		}
+		if prev, dup := l.byRank[e.Rank]; dup {
+			return nil, fmt.Errorf("tranco: duplicate rank %d (%s, %s)", e.Rank, prev, e.Domain)
+		}
+		l.byRank[e.Rank] = e.Domain
+		l.entries = append(l.entries, e)
+	}
+	sort.Slice(l.entries, func(i, j int) bool { return l.entries[i].Rank < l.entries[j].Rank })
+	return l, nil
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entries returns the ranking in ascending rank order (do not mutate).
+func (l *List) Entries() []Entry { return l.entries }
+
+// Domain returns the domain at a rank, if present.
+func (l *List) Domain(rank int) (string, bool) {
+	d, ok := l.byRank[rank]
+	return d, ok
+}
+
+// Top returns the first n entries (fewer if the list is shorter).
+func (l *List) Top(n int) []Entry {
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	return l.entries[:n]
+}
+
+// SampleRange draws n distinct entries with rank in (after, upTo],
+// pseudo-randomly with rng — the paper's tail-cohort sampling (ranks
+// 20k+1..1M).
+func (l *List) SampleRange(rng *stats.RNG, after, upTo, n int) []Entry {
+	var pool []Entry
+	for _, e := range l.entries {
+		if e.Rank > after && e.Rank <= upTo {
+			pool = append(pool, e)
+		}
+	}
+	picked := stats.Sample(rng, pool, n)
+	sort.Slice(picked, func(i, j int) bool { return picked[i].Rank < picked[j].Rank })
+	return picked
+}
+
+// WriteCSV emits the canonical "rank,domain" lines.
+func (l *List) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range l.entries {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", e.Rank, e.Domain); err != nil {
+			return fmt.Errorf("tranco: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses "rank,domain" lines; blank lines and "#" comments are
+// skipped.
+func ReadCSV(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var entries []Entry
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rankStr, domain, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("tranco: line %d: missing comma", lineNo)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil {
+			return nil, fmt.Errorf("tranco: line %d: bad rank %q", lineNo, rankStr)
+		}
+		entries = append(entries, Entry{Rank: rank, Domain: strings.TrimSpace(domain)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tranco: %w", err)
+	}
+	return New(entries)
+}

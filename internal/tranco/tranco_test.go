@@ -1,0 +1,163 @@
+package tranco
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"canvassing/internal/stats"
+)
+
+func sample(t *testing.T) *List {
+	t.Helper()
+	l, err := New([]Entry{
+		{3, "c.com"}, {1, "a.com"}, {2, "b.com"}, {10, "j.com"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewSortsAndIndexes(t *testing.T) {
+	l := sample(t)
+	if l.Len() != 4 {
+		t.Fatal("len")
+	}
+	if l.Entries()[0].Domain != "a.com" || l.Entries()[3].Rank != 10 {
+		t.Fatalf("order: %+v", l.Entries())
+	}
+	if d, ok := l.Domain(2); !ok || d != "b.com" {
+		t.Fatal("lookup")
+	}
+	if _, ok := l.Domain(99); ok {
+		t.Fatal("missing rank")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Entry{{0, "x.com"}}); err == nil {
+		t.Fatal("zero rank")
+	}
+	if _, err := New([]Entry{{1, ""}}); err == nil {
+		t.Fatal("empty domain")
+	}
+	if _, err := New([]Entry{{1, "a.com"}, {1, "b.com"}}); err == nil {
+		t.Fatal("duplicate rank")
+	}
+}
+
+func TestTop(t *testing.T) {
+	l := sample(t)
+	top := l.Top(2)
+	if len(top) != 2 || top[1].Domain != "b.com" {
+		t.Fatalf("top: %+v", top)
+	}
+	if len(l.Top(100)) != 4 {
+		t.Fatal("oversized top")
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	var entries []Entry
+	for i := 1; i <= 1000; i++ {
+		entries = append(entries, Entry{i, "site.example"})
+	}
+	l, _ := New(entries)
+	rng := stats.NewRNG(1)
+	got := l.SampleRange(rng, 100, 500, 50)
+	if len(got) != 50 {
+		t.Fatalf("sample size: %d", len(got))
+	}
+	seen := map[int]bool{}
+	for i, e := range got {
+		if e.Rank <= 100 || e.Rank > 500 {
+			t.Fatalf("rank %d out of range", e.Rank)
+		}
+		if seen[e.Rank] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[e.Rank] = true
+		if i > 0 && got[i-1].Rank > e.Rank {
+			t.Fatal("sample not sorted")
+		}
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	l := sample(t)
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "1,a.com\n2,b.com\n") {
+		t.Fatalf("csv: %q", buf.String())
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatal("roundtrip length")
+	}
+	for i, e := range back.Entries() {
+		if e != l.Entries()[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, e, l.Entries()[i])
+		}
+	}
+}
+
+func TestReadCSVTolerance(t *testing.T) {
+	in := "# Tranco list\n\n1,a.com\n  2 , b.com \n"
+	l, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len: %d", l.Len())
+	}
+	if d, _ := l.Domain(2); d != "b.com" {
+		t.Fatalf("trimmed domain: %q", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, bad := range []string{"nocomma\n", "x,a.com\n", "1,a.com\n1,b.com\n"} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+// Property: CSV roundtrip preserves any valid list.
+func TestCSVRoundtripProperty(t *testing.T) {
+	f := func(ranks []uint16) bool {
+		seen := map[int]bool{}
+		var entries []Entry
+		for _, r := range ranks {
+			rank := int(r) + 1
+			if seen[rank] {
+				continue
+			}
+			seen[rank] = true
+			entries = append(entries, Entry{rank, "d.example"})
+		}
+		l, err := New(entries)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Len() == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package web
+
+import (
+	"fmt"
+	"strings"
+
+	"canvassing/internal/stats"
+)
+
+// Longtail fingerprinting actors: the several hundred boutique scripts
+// behind the unattributed ~27% of fingerprinting sites and most of the
+// 504/288 unique canvases. Each actor renders a small set of canvases
+// unique to it (but identical across its sites), optionally re-extracts
+// them, and optionally performs the double-render randomization check.
+
+// actorSpec describes one longtail actor's behavior.
+type actorSpec struct {
+	ID       int
+	TailOnly bool
+	// Canvases is how many distinct test canvases the script renders.
+	Canvases int
+	// Repeats re-extracts every canvas this many times (>=1).
+	Repeats int
+	// Check adds the Algorithm-1 double-render comparison on the first
+	// canvas.
+	Check bool
+	// Host is the actor's own serving host (third-party mode).
+	Host string
+}
+
+// ActorHost is the serving hostname of longtail actor id when deployed
+// third-party. Exported so list generation can give crowdsourced lists
+// realistic coverage of boutique trackers.
+func ActorHost(id int) string {
+	return fmt.Sprintf("cdn.trk%03d-metrics.net", id)
+}
+
+// LongtailActorIDs returns the id space of shared (non-tail-only)
+// longtail actors.
+func LongtailActorIDs() []int {
+	ids := make([]int, longtailActors)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// newActorSpec derives a deterministic actor from its id.
+func newActorSpec(id int, tailOnly bool) actorSpec {
+	rng := stats.NewRNG(uint64(id)*2654435761 + 97).Fork("actor")
+	spec := actorSpec{
+		ID:       id,
+		TailOnly: tailOnly,
+		Host:     ActorHost(id),
+	}
+	switch {
+	case tailOnly:
+		spec.Canvases = 1
+		if rng.Bool(0.2) {
+			spec.Canvases = 2
+		}
+		spec.Repeats = 1
+	default:
+		w := rng.Float64()
+		switch {
+		case w < 0.15:
+			spec.Canvases = 1
+		case w < 0.40:
+			spec.Canvases = 2
+		case w < 0.70:
+			spec.Canvases = 3
+		case w < 0.90:
+			spec.Canvases = 4
+		default:
+			spec.Canvases = 5
+		}
+		spec.Repeats = 1
+		if rng.Bool(0.20) {
+			spec.Repeats = 2
+		}
+	}
+	spec.Check = rng.Bool(0.05)
+	return spec
+}
+
+// Source renders the actor's script. The drawing is parameterized by the
+// actor id and canvas index, so every (actor, index) pair yields a
+// distinct canvas while remaining identical across sites.
+func (a actorSpec) Source() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/*! trk%03d beacon r%d */\n", a.ID, a.Canvases)
+	sb.WriteString(`
+function __ltHash(s) {
+	var h = 5381;
+	for (var i = 0; i < s.length; i++) { h = ((h << 5) + h + s.charCodeAt(i)) & 0x7fffffff; }
+	return h;
+}
+`)
+	h := stats.HashString(fmt.Sprintf("actor-%d", a.ID))
+	fmt.Fprintf(&sb, `
+function __ltRender(k) {
+	var c = document.createElement('canvas');
+	c.width = %d; c.height = %d;
+	var x = c.getContext('2d');
+	x.font = '%dpx Arial';
+	x.fillStyle = '#%06x';
+	x.fillText('trk%03d sample ' + k, 4, 18);
+	x.strokeStyle = '#%06x';
+	x.lineWidth = %d;
+	x.beginPath();
+	x.moveTo(5, 30);
+	x.lineTo(%d + k * 7, 24);
+	x.stroke();
+	x.globalAlpha = 0.5;
+	x.fillRect(%d, 6 + k * 2, 40, 9);
+	return c.toDataURL();
+}
+`,
+		160+int(h%120), 36+int((h>>8)%30),
+		10+int((h>>16)%6),
+		h&0xFFFFFF,
+		a.ID,
+		(h>>24)&0xFFFFFF,
+		1+int((h>>12)%3),
+		60+int((h>>20)%80),
+		80+int((h>>28)%60),
+	)
+	fmt.Fprintf(&sb, "var __ltSig%d = 0;\n", a.ID)
+	if a.Check {
+		fmt.Fprintf(&sb, `
+var __ltA = __ltRender(0);
+var __ltB = __ltRender(0);
+if (__ltA === __ltB) { __ltSig%d = __ltHash(__ltA); } else { __ltSig%d = 0; }
+`, a.ID, a.ID)
+	}
+	fmt.Fprintf(&sb, `
+for (var r = 0; r < %d; r++) {
+	for (var k = 0; k < %d; k++) {
+		__ltSig%d = (__ltSig%d * 31 + __ltHash(__ltRender(k))) & 0x7fffffff;
+	}
+}
+window.__trk%03d = __ltSig%d;
+`, a.Repeats, a.Canvases, a.ID, a.ID, a.ID, a.ID)
+	return sb.String()
+}

@@ -1,0 +1,717 @@
+package web
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"canvassing/internal/netsim"
+	"canvassing/internal/services"
+	"canvassing/internal/stats"
+)
+
+// Generate builds the synthetic web for cfg. The same config always
+// yields the same web, byte for byte.
+func Generate(cfg Config) *Web {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.TrancoMax <= 0 {
+		cfg.TrancoMax = 1_000_000
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: stats.NewRNG(cfg.Seed).Fork("webgen"),
+		web: &Web{
+			Config:   cfg,
+			DNS:      netsim.NewDNS(),
+			Truth:    map[string][]TruthDeployment{},
+			byDomain: map[string]*Site{},
+		},
+		bundles: map[string][]string{},
+	}
+	g.web.Store = netsim.NewStore(g.web.DNS)
+	g.buildSites()
+	g.plantVendors()
+	g.plantLongtail()
+	g.plantStressSite()
+	g.plantInnerPages()
+	g.plantBenign()
+	g.finalizeBundles()
+	g.buildDemos()
+	return g.web
+}
+
+type generator struct {
+	cfg Config
+	rng *stats.RNG
+	web *Web
+
+	popularOK []*Site // successfully crawlable popular sites
+	tailOK    []*Site
+	ruOK      map[Cohort][]*Site
+
+	fpSites map[string]bool // domains that received any fingerprinting deployment
+
+	// popularActors lists longtail actor ids deployed on popular sites,
+	// so the tail cohort reuses the same actor population (§4.2's 91.4%
+	// cross-cohort canvas overlap).
+	popularActors []int
+
+	// bundles accumulates first-party code per domain until finalize.
+	bundles map[string][]string
+}
+
+// --- site construction -------------------------------------------------------
+
+var tlds = []struct {
+	tld    string
+	weight float64
+}{
+	{"com", 0.58}, {"org", 0.07}, {"net", 0.06}, {"de", 0.045},
+	{"io", 0.035}, {"co.uk", 0.03}, {"fr", 0.02}, {"jp", 0.02},
+	{"com.br", 0.015}, {"nl", 0.015}, {"it", 0.015}, {"pl", 0.01},
+	{"info", 0.01}, {"edu", 0.01}, {"gov", 0.005},
+}
+
+func (g *generator) pickTLD(cohort Cohort, rng *stats.RNG) string {
+	ruFrac := ruFracPopular
+	if cohort == Tail {
+		ruFrac = ruFracTail
+	}
+	if rng.Bool(ruFrac) {
+		return "ru"
+	}
+	weights := make([]float64, len(tlds))
+	for i, t := range tlds {
+		weights[i] = t.weight
+	}
+	return tlds[stats.WeightedChoice(rng, weights)].tld
+}
+
+func (g *generator) buildSites() {
+	rng := g.rng.Fork("sites")
+	p := g.cfg.scaledMin1(popularSites)
+	t := g.cfg.scaledMin1(tailSites)
+	pOK := g.cfg.scaledMin1(popularCrawlOK)
+	tOK := g.cfg.scaledMin1(tailCrawlOK)
+	if pOK > p {
+		pOK = p
+	}
+	if tOK > t {
+		tOK = t
+	}
+
+	for i := 0; i < p; i++ {
+		rank := i + 1
+		site := &Site{
+			Domain: fmt.Sprintf("site-%06d.%s", rank, g.pickTLD(Popular, rng)),
+			Rank:   rank,
+			Cohort: Popular,
+		}
+		g.web.Sites = append(g.web.Sites, site)
+	}
+	// Tail ranks: distinct draws from (p, TrancoMax].
+	seen := map[int]bool{}
+	var tailRanks []int
+	for len(tailRanks) < t {
+		r := p + 1 + rng.Intn(g.cfg.TrancoMax-p)
+		if !seen[r] {
+			seen[r] = true
+			tailRanks = append(tailRanks, r)
+		}
+	}
+	sort.Ints(tailRanks)
+	for _, rank := range tailRanks {
+		site := &Site{
+			Domain: fmt.Sprintf("site-%06d.%s", rank, g.pickTLD(Tail, rng)),
+			Rank:   rank,
+			Cohort: Tail,
+		}
+		g.web.Sites = append(g.web.Sites, site)
+	}
+
+	// Crawl success and consent banners.
+	pop := g.web.CohortSites(Popular)
+	tail := g.web.CohortSites(Tail)
+	for _, s := range stats.Sample(rng, pop, pOK) {
+		s.CrawlOK = true
+	}
+	for _, s := range stats.Sample(rng, tail, tOK) {
+		s.CrawlOK = true
+	}
+	g.ruOK = map[Cohort][]*Site{}
+	for _, s := range g.web.Sites {
+		g.web.byDomain[s.Domain] = s
+		if !s.CrawlOK {
+			continue
+		}
+		s.ConsentBanner = rng.Bool(consentBannerFrac)
+		if s.Cohort == Popular {
+			g.popularOK = append(g.popularOK, s)
+		} else {
+			g.tailOK = append(g.tailOK, s)
+		}
+		if strings.HasSuffix(s.Domain, ".ru") {
+			g.ruOK[s.Cohort] = append(g.ruOK[s.Cohort], s)
+		}
+	}
+	g.fpSites = map[string]bool{}
+}
+
+// --- deployment plumbing ------------------------------------------------------
+
+// hostBody publishes body and appends a script tag to the site.
+func (g *generator) addScript(site *Site, u netsim.URL, body string, rng *stats.RNG) {
+	if _, err := g.web.Store.Fetch(u); err != nil {
+		g.web.Store.Host(u, "text/javascript", body)
+	}
+	ps := PageScript{URL: u}
+	if rng != nil {
+		ps.OnScroll = rng.Bool(onScrollFrac)
+		if site.ConsentBanner {
+			ps.NeedsConsent = rng.Bool(0.5)
+		}
+	}
+	site.Scripts = append(site.Scripts, ps)
+}
+
+// bundleInto queues source into the site's first-party application bundle
+// and ensures the bundle script tag exists.
+func (g *generator) bundleInto(site *Site, source string) netsim.URL {
+	u := scriptURL(site.Domain, firstPartyBundlePath)
+	if _, ok := g.bundles[site.Domain]; !ok {
+		g.bundles[site.Domain] = []string{genericSiteJS(site.Domain)}
+		site.Scripts = append(site.Scripts, PageScript{URL: u})
+	}
+	g.bundles[site.Domain] = append(g.bundles[site.Domain], source)
+	return u
+}
+
+func (g *generator) finalizeBundles() {
+	for domain, parts := range g.bundles {
+		u := scriptURL(domain, firstPartyBundlePath)
+		g.web.Store.Host(u, "text/javascript", strings.Join(parts, "\n;\n"))
+	}
+}
+
+// deployVendor places one vendor deployment on a site and records truth.
+func (g *generator) deployVendor(site *Site, v *services.Vendor, mode services.ServingMode, rng *stats.RNG, truth TruthDeployment) {
+	source := v.Source(services.ScriptParams{SiteDomain: site.Domain})
+	var u netsim.URL
+	switch {
+	case v.Slug == "akamai":
+		// Akamai's sensor is always same-origin under /akam/.
+		h := stats.HashString("akam:" + site.Domain)
+		u = scriptURL(site.Domain, fmt.Sprintf("/akam/13/%08x", h&0xFFFFFFFF))
+		g.addScript(site, u, source, rng)
+	case v.Slug == "imperva":
+		// First-party, letters-and-hyphens path (the A.3 regexp shape).
+		u = scriptURL(site.Domain, "/"+impervaPath(site.Domain))
+		g.addScript(site, u, source, rng)
+	default:
+		u = g.placeByMode(site, v.Slug, v.ScriptHost, v.ScriptPath, mode, source, rng)
+	}
+	truth.Mode = mode
+	truth.ScriptURL = u.String()
+	g.recordDeployment(site, truth)
+}
+
+// placeByMode hosts source per the serving mode and returns the URL the
+// page references.
+func (g *generator) placeByMode(site *Site, slug, vendorHost, vendorPath string, mode services.ServingMode, source string, rng *stats.RNG) netsim.URL {
+	switch mode {
+	case services.ServeFirstParty:
+		return g.bundleInto(site, source)
+	case services.ServeSubdomain:
+		u := scriptURL("fp."+site.Domain, "/"+slug+".js")
+		g.addScript(site, u, source, rng)
+		return u
+	case services.ServeCNAME:
+		alias := "metrics." + site.Domain
+		canonical := fmt.Sprintf("%s.%s", siteLabel(site.Domain), vendorHost)
+		g.web.DNS.AddCNAME(alias, canonical)
+		g.web.Store.Host(scriptURL(canonical, "/sdk.js"), "text/javascript", source)
+		u := scriptURL(alias, "/sdk.js")
+		site.Scripts = append(site.Scripts, PageScript{URL: u})
+		return u
+	case services.ServeCDN:
+		h := stats.HashString("cdn:" + slug)
+		u := scriptURL(fmt.Sprintf("d%06x.cloudfront.net", h&0xFFFFFF), "/"+slug+"/fp.js")
+		g.addScript(site, u, source, rng)
+		return u
+	default: // third-party
+		u := scriptURL(vendorHost, vendorPath)
+		g.addScript(site, u, source, rng)
+		return u
+	}
+}
+
+func (g *generator) recordDeployment(site *Site, truth TruthDeployment) {
+	g.web.Truth[site.Domain] = append(g.web.Truth[site.Domain], truth)
+	g.fpSites[site.Domain] = true
+}
+
+// siteLabel extracts the first DNS label of a domain for CNAME targets.
+func siteLabel(domain string) string {
+	if i := strings.IndexByte(domain, '.'); i > 0 {
+		return domain[:i]
+	}
+	return domain
+}
+
+// impervaPath derives the site-specific letters-and-hyphens script path.
+func impervaPath(domain string) string {
+	h := stats.HashString("imperva:" + domain)
+	words := []string{"Advanced", "Edge", "Shield", "Gate", "Guard", "Sentry", "Core", "Watch"}
+	a := words[h%uint64(len(words))]
+	b := words[(h>>8)%uint64(len(words))]
+	if a == b {
+		b = "Protection"
+	}
+	return a + "-" + b
+}
+
+// pickMode draws a serving mode from a weight table.
+func pickMode(rng *stats.RNG, weights map[services.ServingMode]float64) services.ServingMode {
+	modes := []services.ServingMode{
+		services.ServeThirdParty, services.ServeFirstParty,
+		services.ServeSubdomain, services.ServeCNAME, services.ServeCDN,
+	}
+	ws := make([]float64, len(modes))
+	total := 0.0
+	for i, m := range modes {
+		ws[i] = weights[m]
+		total += ws[i]
+	}
+	if total == 0 {
+		return services.ServeThirdParty
+	}
+	return modes[stats.WeightedChoice(rng, ws)]
+}
+
+// --- named vendors -------------------------------------------------------------
+
+func (g *generator) plantVendors() {
+	rng := g.rng.Fork("vendors")
+	for _, target := range table1Targets {
+		v := services.BySlug(target.Slug)
+		for _, cohort := range []Cohort{Popular, Tail} {
+			count := g.cfg.scaled(target.Popular)
+			pool := g.popularOK
+			if cohort == Tail {
+				count = g.cfg.scaled(target.Tail)
+				pool = g.tailOK
+			}
+			if v.Slug == "mailru" {
+				pool = g.ruOK[cohort]
+			}
+			if count > len(pool) {
+				count = len(pool)
+			}
+			if count == 0 {
+				continue
+			}
+			sites := stats.Sample(rng.Fork(v.Slug+cohort.String()), pool, count)
+			if v.Slug == "fingerprintjs" {
+				g.plantFPJS(sites, cohort, rng)
+				continue
+			}
+			for i, site := range sites {
+				mode := pickMode(rng, v.ServingWeights)
+				// Keep at least one canonical third-party deployment per
+				// vendor per cohort so the known-customer attribution
+				// method (A.3) always has a confirmable customer.
+				if i == 0 && v.ScriptHost != "" {
+					mode = services.ServeThirdParty
+				}
+				g.deployVendor(site, v, mode, rng, TruthDeployment{
+					VendorSlug: v.Slug, Longtail: -1,
+				})
+			}
+		}
+	}
+}
+
+// plantFPJS splits the FingerprintJS population into rebranders,
+// commercial-tier customers and OSS bundlers (§4.3.1).
+func (g *generator) plantFPJS(sites []*Site, cohort Cohort, rng *stats.RNG) {
+	v := services.BySlug("fingerprintjs")
+	idx := 0
+	take := func(n int) []*Site {
+		if idx+n > len(sites) {
+			n = len(sites) - idx
+		}
+		out := sites[idx : idx+n]
+		idx += n
+		return out
+	}
+	// Rebranders.
+	for _, rt := range rebranderTargets {
+		count := g.cfg.scaled(rt.Popular)
+		if cohort == Tail {
+			count = g.cfg.scaled(rt.Tail)
+		}
+		reb := rebranderBySlug(rt.Slug)
+		for _, site := range take(count) {
+			u := scriptURL(reb.ScriptHost, "/uid/fp.js")
+			g.addScript(site, u, services.RebranderSource(reb), rng)
+			g.recordDeployment(site, TruthDeployment{
+				VendorSlug: v.Slug, Rebrander: reb.Slug,
+				Mode: services.ServeThirdParty, ScriptURL: u.String(), Longtail: -1,
+			})
+		}
+	}
+	// Commercial tier.
+	commercialCount := g.cfg.scaled(fpjsCommercial.Popular)
+	if cohort == Tail {
+		commercialCount = g.cfg.scaled(fpjsCommercial.Tail)
+	}
+	commercialWeights := map[services.ServingMode]float64{
+		services.ServeThirdParty: 0.5,
+		services.ServeCDN:        0.3,
+		services.ServeCNAME:      0.2,
+	}
+	for _, site := range take(commercialCount) {
+		mode := pickMode(rng, commercialWeights)
+		source := commercialFPJSSource(v)
+		u := g.placeByMode(site, "fpjs-pro", v.ScriptHost, v.ScriptPath, mode, source, rng)
+		g.recordDeployment(site, TruthDeployment{
+			VendorSlug: v.Slug, Commercial: true, Mode: mode,
+			ScriptURL: u.String(), Longtail: -1,
+		})
+	}
+	// OSS bundlers.
+	ossWeights := map[services.ServingMode]float64{
+		services.ServeFirstParty: 0.84,
+		services.ServeSubdomain:  0.08,
+		services.ServeCDN:        0.08,
+	}
+	for _, site := range take(len(sites) - idx) {
+		mode := pickMode(rng, ossWeights)
+		source := v.Source(services.ScriptParams{SiteDomain: site.Domain})
+		u := g.placeByMode(site, "fingerprintjs", v.ScriptHost, v.ScriptPath, mode, source, rng)
+		g.recordDeployment(site, TruthDeployment{
+			VendorSlug: v.Slug, Mode: mode, ScriptURL: u.String(), Longtail: -1,
+		})
+	}
+}
+
+// commercialFPJSSource extends the OSS canvas with the extra commercial
+// surfaces (footnote 2: e.g. mathML), which is how the paper tells the
+// tiers apart by script content.
+func commercialFPJSSource(v *services.Vendor) string {
+	return v.Source(services.ScriptParams{}) + `
+// fpjs-pro extra surfaces
+var __fpjsMathML = Math.atan2(1, 2) + Math.exp(0.5);
+window.__fpjs_pro = (window.__fpjs_visitor | 0) ^ __fpHash('' + __fpjsMathML);
+`
+}
+
+func rebranderBySlug(slug string) services.Rebrander {
+	for _, r := range services.Rebranders() {
+		if r.Slug == slug {
+			return r
+		}
+	}
+	panic("web: unknown rebrander " + slug)
+}
+
+// --- longtail actors -------------------------------------------------------------
+
+func (g *generator) plantLongtail() {
+	rng := g.rng.Fork("longtail")
+	for _, cohort := range []Cohort{Popular, Tail} {
+		pool := g.popularOK
+		fpTarget := g.cfg.scaled(popularFPTargets)
+		if cohort == Tail {
+			pool = g.tailOK
+			fpTarget = g.cfg.scaled(tailFPTargets)
+		}
+		var nonFP []*Site
+		for _, s := range pool {
+			if !g.fpSites[s.Domain] {
+				nonFP = append(nonFP, s)
+			}
+		}
+		needed := fpTarget - (countFP(g.fpSites, pool))
+		if needed <= 0 {
+			continue
+		}
+		if needed > len(nonFP) {
+			needed = len(nonFP)
+		}
+		sites := stats.Sample(rng.Fork("lt-sites"+cohort.String()), nonFP, needed)
+		g.assignActors(sites, cohort, rng)
+	}
+}
+
+func countFP(fp map[string]bool, pool []*Site) int {
+	n := 0
+	for _, s := range pool {
+		if fp[s.Domain] {
+			n++
+		}
+	}
+	return n
+}
+
+// headActorSites is the popular-cohort site count for the biggest
+// longtail actors (the mid-section of Figure 1).
+var headActorSites = []int{40, 28, 20, 15, 12, 10, 8, 8, 6, 6}
+
+func (g *generator) assignActors(sites []*Site, cohort Cohort, rng *stats.RNG) {
+	idx := 0
+	take := func(n int) []*Site {
+		if idx+n > len(sites) {
+			n = len(sites) - idx
+		}
+		out := sites[idx : idx+n]
+		idx += n
+		return out
+	}
+	deployActor := func(spec actorSpec, ss []*Site) {
+		for _, site := range ss {
+			mode := pickMode(rng, longtailModeWeights[cohort])
+			source := spec.Source()
+			u := g.placeByMode(site, fmt.Sprintf("trk%03d", spec.ID), spec.Host, "/beacon.js", mode, source, rng)
+			g.recordDeployment(site, TruthDeployment{
+				VendorSlug: "", Mode: mode, ScriptURL: u.String(), Longtail: spec.ID,
+			})
+		}
+	}
+
+	if cohort == Popular {
+		actorID := 0
+		for _, n := range headActorSites {
+			deployActor(newActorSpec(actorID, false), take(g.cfg.scaled(n)))
+			g.popularActors = append(g.popularActors, actorID)
+			actorID++
+		}
+		// Body: actors on 1–4 sites each.
+		actorID = len(headActorSites)
+		for idx < len(sites) {
+			n := 1 + rng.Intn(4)
+			deployActor(newActorSpec(actorID, false), take(n))
+			g.popularActors = append(g.popularActors, actorID)
+			actorID++
+			if actorID >= longtailActors {
+				actorID = len(headActorSites) // wrap, reusing body actors
+			}
+		}
+		return
+	}
+
+	// Tail cohort: first the tail-only actors (largest group, then the
+	// runner-up, then singletons — §4.2), then shared actors weighted
+	// toward the popular head.
+	tailOnlyBudget := g.cfg.scaled(136)
+	if tailOnlyBudget > len(sites)/3 {
+		tailOnlyBudget = len(sites) / 3
+	}
+	tailOnlyUsed := 0
+	tailActorID := 100000 // disjoint id space for tail-only actors
+	for i := 0; tailOnlyUsed < tailOnlyBudget; i++ {
+		var n int
+		switch i {
+		case 0:
+			n = g.cfg.scaled(15)
+		case 1:
+			n = g.cfg.scaled(3)
+		default:
+			n = 1
+		}
+		if n <= 0 {
+			n = 1
+		}
+		if tailOnlyUsed+n > tailOnlyBudget {
+			n = tailOnlyBudget - tailOnlyUsed
+		}
+		ss := take(n)
+		if len(ss) == 0 {
+			break
+		}
+		deployActor(newActorSpec(tailActorID+i, true), ss)
+		tailOnlyUsed += len(ss)
+		if i > tailOnlyActors*4 {
+			break
+		}
+	}
+	// Shared actors for the remainder, drawn from the actors actually
+	// deployed on popular sites (head-weighted) so tail canvases overlap
+	// with the popular cohort.
+	for idx < len(sites) {
+		var actorID int
+		switch {
+		case len(g.popularActors) == 0:
+			actorID = rng.Intn(longtailActors)
+		case rng.Bool(0.45) && len(g.popularActors) >= len(headActorSites):
+			actorID = g.popularActors[rng.Intn(len(headActorSites))]
+		default:
+			actorID = g.popularActors[rng.Intn(len(g.popularActors))]
+		}
+		n := 1 + rng.Intn(4)
+		deployActor(newActorSpec(actorID, false), take(n))
+	}
+}
+
+// plantStressSite plants the single heaviest fingerprinting page
+// (§4.1's 60-canvas maximum): an audit/aggregator page exercising many
+// test canvases.
+func (g *generator) plantStressSite() {
+	rng := g.rng.Fork("stress")
+	pool := g.popularOK
+	var candidate *Site
+	for _, s := range pool {
+		if !g.fpSites[s.Domain] {
+			candidate = s
+			break
+		}
+	}
+	if candidate == nil {
+		return
+	}
+	spec := actorSpec{ID: 999999, Canvases: 20, Repeats: 3, Host: "cdn.fp-audit.net"}
+	u := g.placeByMode(candidate, "fp-audit", spec.Host, "/audit.js", services.ServeThirdParty, spec.Source(), rng)
+	g.recordDeployment(candidate, TruthDeployment{Mode: services.ServeThirdParty, ScriptURL: u.String(), Longtail: spec.ID})
+}
+
+// --- inner login pages ------------------------------------------------------------
+
+// innerPageVendors are the security services that commonly fingerprint on
+// authentication pages rather than homepages (the §3.2 limitation: a
+// homepage-only crawl misses them).
+var innerPageVendors = []string{"akamai", "perimeterx", "sift", "signifyd", "geetest", "aws-waf"}
+
+// plantInnerPages gives a slice of sites a /login page carrying a
+// security-vendor fingerprinting script that does NOT run on the
+// homepage. These deployments are invisible to the paper-faithful crawl
+// and surface only in the EX2 inner-page extension experiment.
+func (g *generator) plantInnerPages() {
+	rng := g.rng.Fork("inner")
+	for _, cohort := range []Cohort{Popular, Tail} {
+		pool := g.popularOK
+		count := g.cfg.scaled(400)
+		if cohort == Tail {
+			pool = g.tailOK
+			count = g.cfg.scaled(260)
+		}
+		if count > len(pool) {
+			count = len(pool)
+		}
+		for _, site := range stats.Sample(rng.Fork("sites"+cohort.String()), pool, count) {
+			slug := innerPageVendors[rng.Intn(len(innerPageVendors))]
+			v := services.BySlug(slug)
+			source := v.Source(services.ScriptParams{SiteDomain: site.Domain})
+			var u netsim.URL
+			mode := services.ServeThirdParty
+			if slug == "akamai" {
+				h := stats.HashString("akam-login:" + site.Domain)
+				u = scriptURL(site.Domain, fmt.Sprintf("/akam/13/%08x", h&0xFFFFFFFF))
+				mode = services.ServeFirstParty
+			} else {
+				u = scriptURL(v.ScriptHost, v.ScriptPath)
+			}
+			if _, err := g.web.Store.Fetch(u); err != nil {
+				g.web.Store.Host(u, "text/javascript", source)
+			}
+			site.InnerScripts = append(site.InnerScripts, PageScript{URL: u})
+			g.web.Truth[site.Domain] = append(g.web.Truth[site.Domain], TruthDeployment{
+				VendorSlug: slug,
+				Mode:       mode,
+				ScriptURL:  u.String(),
+				Longtail:   -1,
+				Inner:      true,
+			})
+		}
+	}
+}
+
+// --- benign canvas users --------------------------------------------------------
+
+func (g *generator) plantBenign() {
+	rng := g.rng.Fork("benign")
+	type cohortPlan struct {
+		cohort                             Cohort
+		nonFPExtractors                    int
+		webpFP, smallFP, emojiFP, editorFP int
+		charts                             int
+	}
+	plans := []cohortPlan{
+		{Popular, g.cfg.scaled(155), g.cfg.scaled(214), g.cfg.scaled(151), g.cfg.scaled(benignEmojiPopular), g.cfg.scaled(benignEditorPopular), g.cfg.scaled(benignChartPopular)},
+		{Tail, g.cfg.scaled(138), g.cfg.scaled(197), g.cfg.scaled(135), g.cfg.scaled(benignEmojiTail), g.cfg.scaled(benignEditorTail), g.cfg.scaled(benignChartTail)},
+	}
+	for _, plan := range plans {
+		pool := g.popularOK
+		if plan.cohort == Tail {
+			pool = g.tailOK
+		}
+		var fp, nonFP []*Site
+		for _, s := range pool {
+			if g.fpSites[s.Domain] {
+				fp = append(fp, s)
+			} else {
+				nonFP = append(nonFP, s)
+			}
+		}
+		// Fully-excluded sites: benign extraction, no fingerprinting.
+		exSites := stats.Sample(rng.Fork("excl"+plan.cohort.String()), nonFP, plan.nonFPExtractors)
+		for i, s := range exSites {
+			kind := services.BenignWebP
+			if i%5 >= 3 { // 40% small canvases, 60% webp probes
+				kind = services.BenignSmall
+			}
+			g.addBenign(s, kind)
+		}
+		// Benign extractors co-located with fingerprinting.
+		addTo := func(n int, kind services.BenignKind) {
+			if n > len(fp) {
+				n = len(fp)
+			}
+			for _, s := range stats.Sample(rng.Fork(string(kind)+plan.cohort.String()), fp, n) {
+				g.addBenign(s, kind)
+			}
+		}
+		addTo(plan.webpFP, services.BenignWebP)
+		addTo(plan.smallFP, services.BenignSmall)
+		addTo(plan.emojiFP, services.BenignEmoji)
+		addTo(plan.editorFP, services.BenignEditor)
+		// Charts extract nothing; they can land anywhere.
+		for _, s := range stats.Sample(rng.Fork("charts"+plan.cohort.String()), pool, plan.charts) {
+			g.addBenign(s, services.BenignChart)
+		}
+	}
+}
+
+func (g *generator) addBenign(site *Site, kind services.BenignKind) {
+	u := scriptURL(site.Domain, "/js/"+string(kind)+".js")
+	for _, sc := range site.Scripts {
+		if sc.URL == u {
+			return // one of each kind per site
+		}
+	}
+	g.web.Store.Host(u, "text/javascript", services.BenignSource(kind))
+	site.Scripts = append(site.Scripts, PageScript{URL: u})
+}
+
+// --- vendor demos ------------------------------------------------------------------
+
+func (g *generator) buildDemos() {
+	rng := g.rng.Fork("demos")
+	for _, v := range services.Registry() {
+		if !v.HasDemo {
+			continue
+		}
+		site := &Site{
+			Domain:  v.DemoDomain,
+			Rank:    0,
+			Cohort:  Demo,
+			CrawlOK: true,
+		}
+		g.deployVendor(site, v, services.ServeThirdParty, rng, TruthDeployment{
+			VendorSlug: v.Slug, Longtail: -1,
+		})
+		g.web.Demos = append(g.web.Demos, site)
+		g.web.byDomain[site.Domain] = site
+	}
+}

@@ -1,0 +1,150 @@
+package web
+
+import "canvassing/internal/services"
+
+// Calibration targets, taken from the paper's reported marginals. The
+// generator plants deployments to land near these; the pipeline then
+// re-measures them. All counts are absolute at Scale=1 (20k+20k sites)
+// and scale linearly for smaller test webs.
+
+// Config parameterizes web generation.
+type Config struct {
+	// Seed drives every random choice.
+	Seed uint64
+	// Scale shrinks the whole web proportionally: 1.0 is the paper's
+	// 20k+20k crawl, 0.05 generates a 1k+1k web for tests.
+	Scale float64
+	// TrancoMax is the bottom of the ranking the tail is sampled from.
+	TrancoMax int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{Seed: seed, Scale: 1.0, TrancoMax: 1_000_000}
+}
+
+// scaled returns max(0, round(n*scale)); floor 1 when n>0 and scale>0 is
+// NOT applied — tiny webs legitimately drop rare vendors (GeeTest).
+func (c Config) scaled(n int) int {
+	v := int(float64(n)*c.Scale + 0.5)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// scaledMin1 is scaled with a floor of 1, for structural counts.
+func (c Config) scaledMin1(n int) int {
+	v := c.scaled(n)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+const (
+	// Cohort sizes and crawl success counts (§3.1, §4.1).
+	popularSites     = 20000
+	tailSites        = 20000
+	popularCrawlOK   = 16276
+	tailCrawlOK      = 17260
+	popularFPTargets = 2067 // popular sites extracting ≥1 fingerprintable canvas
+	tailFPTargets    = 1715
+
+	// Unique-canvas targets (§4.2) are emergent: named vendors + Imperva
+	// per-site canvases + the longtail actor population below.
+
+	// Longtail fingerprinting actors: small self-hosted or boutique
+	// scripts that make up the unattributed 27%/29% of fingerprinting
+	// sites and the body of the 504/288 unique-canvas counts.
+	longtailActors = 470
+	// tailOnlyActors are longtail actors deployed exclusively on tail
+	// sites (§4.2: largest tail-only canvas group 15 sites, next 3).
+	tailOnlyActors = 40
+
+	// Fraction of sites with consent banners and scroll-gated tags.
+	consentBannerFrac = 0.34
+	onScrollFrac      = 0.12
+
+	// Benign canvas users (§3.2, A.2) among successfully-crawled sites.
+	benignWebPPopular   = 306
+	benignWebPTail      = 280
+	benignSmallPopular  = 216
+	benignSmallTail     = 190
+	benignEmojiPopular  = 150
+	benignEmojiTail     = 140
+	benignEditorPopular = 420
+	benignEditorTail    = 380
+	benignChartPopular  = 800
+	benignChartTail     = 700
+
+	// TLD shares. RUFracPopular is set so mail.ru's 242 popular
+	// deployments cover one third of .ru sites in the top 20k (§4.3.1).
+	ruFracPopular = 0.0365
+	ruFracTail    = 0.030
+)
+
+// vendorTarget is a Table 1 row: how many fingerprinting sites in each
+// cohort deploy the vendor.
+type vendorTarget struct {
+	Slug    string
+	Popular int
+	Tail    int
+}
+
+// table1Targets mirrors Table 1 of the paper.
+var table1Targets = []vendorTarget{
+	{"akamai", 485, 205},
+	{"fingerprintjs", 462, 298},
+	{"mailru", 242, 173},
+	{"fingerprintjs-legacy", 179, 90},
+	{"imperva", 49, 13},
+	{"aws-waf", 48, 14},
+	{"insurads", 40, 1},
+	{"signifyd", 39, 18},
+	{"perimeterx", 35, 2},
+	{"sift", 31, 8},
+	{"shopify", 32, 457},
+	{"adscore", 25, 30},
+	{"geetest", 1, 0},
+}
+
+// rebranderTarget allocates part of the FingerprintJS population to
+// ad-tech rebranders of the OSS library (§4.3.1).
+type rebranderTarget struct {
+	Slug    string
+	Popular int
+	Tail    int
+}
+
+var rebranderTargets = []rebranderTarget{
+	{"aidata", 40, 10},
+	{"adskeeper", 10, 6},
+	{"trafficjunky", 7, 1},
+	{"mgid", 23, 17},
+	{"acint", 18, 29},
+}
+
+// fpjsCommercial is the number of FingerprintJS deployments on the paid
+// tier (identifiable by fpnpmcdn.net URLs / extra surfaces).
+var fpjsCommercial = vendorTarget{"fingerprintjs", 23, 10}
+
+// longtailModeWeights gives serving-mode weights for longtail actors per
+// cohort. Less-popular sites overwhelmingly self-host homegrown
+// fingerprinting (driving the tail's 52% first-party figure), while
+// popular-site boutique deployments split across subdomain routing and
+// vendor hosts (driving the 9.5% subdomain figure).
+var longtailModeWeights = map[Cohort]map[services.ServingMode]float64{
+	Popular: {
+		services.ServeFirstParty: 0.20,
+		services.ServeSubdomain:  0.34,
+		services.ServeCDN:        0.03,
+		services.ServeThirdParty: 0.43,
+	},
+	Tail: {
+		services.ServeFirstParty: 0.82,
+		services.ServeSubdomain:  0.06,
+		services.ServeCDN:        0.03,
+		services.ServeThirdParty: 0.09,
+	},
+}

@@ -1,0 +1,165 @@
+// Package web generates the synthetic Web the crawler visits: a Tranco
+// ranking, popular and tail site cohorts, vendor deployments with
+// realistic serving modes, benign canvas users, DNS records and hosted
+// script bodies.
+//
+// Calibration targets (targets.go) come from the paper's reported
+// marginals — Table 1 counts, §4.1 prevalence, §5.2 serving-mode
+// fractions — but the generator only *plants* deployments; every number
+// the experiments report is re-measured by the crawler/detector/clusterer
+// pipeline from observed behavior. The generator's ground truth is kept
+// only for validation tests.
+package web
+
+import (
+	"fmt"
+
+	"canvassing/internal/netsim"
+	"canvassing/internal/services"
+	"canvassing/internal/tranco"
+)
+
+// Cohort identifies the two crawl populations.
+type Cohort uint8
+
+// Cohorts from the paper's methodology (§3).
+const (
+	// Popular is the Tranco top-20k cohort.
+	Popular Cohort = iota
+	// Tail is the random sample of ranks 20k+1..1M.
+	Tail
+	// Demo marks vendor demo pages (attribution ground truth, §A.3).
+	Demo
+)
+
+// String names the cohort.
+func (c Cohort) String() string {
+	switch c {
+	case Popular:
+		return "popular"
+	case Tail:
+		return "tail"
+	case Demo:
+		return "demo"
+	}
+	return "unknown"
+}
+
+// PageScript is one <script src=...> reference on a page.
+type PageScript struct {
+	// URL the browser requests.
+	URL netsim.URL
+	// OnScroll delays execution until the crawler's scroll simulation
+	// (lazy-loaded tags).
+	OnScroll bool
+	// NeedsConsent gates execution behind the consent banner (CMP-gated
+	// tag managers).
+	NeedsConsent bool
+}
+
+// Site is one crawlable site.
+type Site struct {
+	// Domain is the site's registrable domain (or hostname).
+	Domain string
+	// Rank is the Tranco rank.
+	Rank int
+	// Cohort is the crawl population this site belongs to.
+	Cohort Cohort
+	// CrawlOK is false for sites that fail to crawl (unreachable,
+	// hard bot-blocked, timeouts) — the paper successfully crawled
+	// 16,276/20,000 popular and 17,260/20,000 tail sites.
+	CrawlOK bool
+	// ConsentBanner indicates a CMP banner the crawler must accept.
+	ConsentBanner bool
+	// Scripts are the homepage's script tags, in execution order.
+	Scripts []PageScript
+	// InnerScripts are script tags that only load on the site's inner
+	// login page (/login). The paper's crawl never follows inner links
+	// (§3.2 limitation); the EX2 extension experiment does.
+	InnerScripts []PageScript
+}
+
+// TruthDeployment records what the generator planted on a site. It is
+// exported for validation tests ONLY; the measurement pipeline never
+// reads it.
+type TruthDeployment struct {
+	VendorSlug string
+	Rebrander  string // rebrander slug if this is a rebranded FPJS
+	Commercial bool   // FingerprintJS commercial tier
+	Mode       services.ServingMode
+	ScriptURL  string
+	Longtail   int  // longtail actor id (-1 for named vendors)
+	Inner      bool // deployed on the /login inner page only
+}
+
+// Web is the generated world.
+type Web struct {
+	Config Config
+	// Sites holds every cohort site (popular then tail); Demos holds
+	// vendor demo pages.
+	Sites []*Site
+	Demos []*Site
+	// Store hosts every script body; DNS carries the CNAME records.
+	Store *netsim.Store
+	DNS   *netsim.DNS
+	// Truth maps domain → planted deployments (validation only).
+	Truth map[string][]TruthDeployment
+
+	byDomain map[string]*Site
+}
+
+// Ranking exports the generated world's site ranking as a Tranco-format
+// list (both cohorts; demo pages are unranked and excluded).
+func (w *Web) Ranking() *tranco.List {
+	entries := make([]tranco.Entry, 0, len(w.Sites))
+	for _, s := range w.Sites {
+		entries = append(entries, tranco.Entry{Rank: s.Rank, Domain: s.Domain})
+	}
+	l, err := tranco.New(entries)
+	if err != nil {
+		// Generation guarantees distinct positive ranks; a failure here
+		// is a generator bug worth crashing on.
+		panic(err)
+	}
+	return l
+}
+
+// SiteByDomain returns the cohort or demo site with the given domain.
+func (w *Web) SiteByDomain(domain string) *Site {
+	return w.byDomain[domain]
+}
+
+// CohortSites returns the sites of one cohort.
+func (w *Web) CohortSites(c Cohort) []*Site {
+	var out []*Site
+	for _, s := range w.Sites {
+		if s.Cohort == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// scriptURL builds a URL on host with the given path.
+func scriptURL(host, path string) netsim.URL {
+	return netsim.URL{Scheme: "https", Host: host, Path: path}
+}
+
+// firstPartyBundlePath is where sites serve their bundled application JS.
+const firstPartyBundlePath = "/assets/app.js"
+
+// genericSiteJS returns the non-fingerprinting application code a site's
+// bundle carries alongside any bundled vendor library.
+func genericSiteJS(domain string) string {
+	return fmt.Sprintf(`
+// %s application bundle
+var __app = { page: 'home', session: 0 };
+function __appInit() {
+	__app.session = Math.floor(Math.random() * 100000);
+	var nav = document.createElement('nav');
+	document.body.appendChild(nav);
+	return __app.session;
+}
+__appInit();
+`, domain)
+}

@@ -1,0 +1,392 @@
+package web
+
+import (
+	"strings"
+	"testing"
+
+	"canvassing/internal/jsvm"
+	"canvassing/internal/services"
+)
+
+// smallWeb is a 5% scale web shared across tests (generation is pure).
+func smallWeb(t *testing.T) *Web {
+	t.Helper()
+	return Generate(Config{Seed: 11, Scale: 0.05, TrancoMax: 1_000_000})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 5, Scale: 0.02})
+	b := Generate(Config{Seed: 5, Scale: 0.02})
+	if len(a.Sites) != len(b.Sites) {
+		t.Fatal("site counts differ")
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Domain != b.Sites[i].Domain ||
+			a.Sites[i].CrawlOK != b.Sites[i].CrawlOK ||
+			len(a.Sites[i].Scripts) != len(b.Sites[i].Scripts) {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 6, Scale: 0.02})
+	diff := false
+	for i := range a.Sites {
+		if a.Sites[i].Domain != c.Sites[i].Domain {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCohortSizes(t *testing.T) {
+	w := smallWeb(t)
+	pop := w.CohortSites(Popular)
+	tail := w.CohortSites(Tail)
+	if len(pop) != 1000 || len(tail) != 1000 {
+		t.Fatalf("cohorts: %d/%d", len(pop), len(tail))
+	}
+	okPop, okTail := 0, 0
+	for _, s := range pop {
+		if s.CrawlOK {
+			okPop++
+		}
+	}
+	for _, s := range tail {
+		if s.CrawlOK {
+			okTail++
+		}
+	}
+	// Crawl success ≈ 81.4% popular, 86.3% tail.
+	if okPop < 780 || okPop > 850 {
+		t.Fatalf("popular crawl-ok = %d", okPop)
+	}
+	if okTail < 830 || okTail > 900 {
+		t.Fatalf("tail crawl-ok = %d", okTail)
+	}
+}
+
+func TestTailRanksInRange(t *testing.T) {
+	w := smallWeb(t)
+	for _, s := range w.CohortSites(Tail) {
+		if s.Rank <= 1000 || s.Rank > 1_000_000 {
+			t.Fatalf("tail rank out of range: %d", s.Rank)
+		}
+	}
+	for _, s := range w.CohortSites(Popular) {
+		if s.Rank < 1 || s.Rank > 1000 {
+			t.Fatalf("popular rank out of range: %d", s.Rank)
+		}
+	}
+}
+
+func TestFPSiteCounts(t *testing.T) {
+	w := smallWeb(t)
+	counts := map[Cohort]int{}
+	for domain := range w.Truth {
+		if s := w.SiteByDomain(domain); s != nil && s.Cohort != Demo {
+			counts[s.Cohort]++
+		}
+	}
+	// Targets at 5%: ~103 popular, ~86 tail.
+	if counts[Popular] < 85 || counts[Popular] > 120 {
+		t.Fatalf("popular FP sites = %d", counts[Popular])
+	}
+	if counts[Tail] < 70 || counts[Tail] > 100 {
+		t.Fatalf("tail FP sites = %d", counts[Tail])
+	}
+}
+
+func TestVendorTargetCounts(t *testing.T) {
+	w := smallWeb(t)
+	count := map[string]map[Cohort]int{}
+	for domain, deps := range w.Truth {
+		s := w.SiteByDomain(domain)
+		if s == nil || s.Cohort == Demo {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.VendorSlug == "" || seen[d.VendorSlug] {
+				continue
+			}
+			seen[d.VendorSlug] = true
+			if count[d.VendorSlug] == nil {
+				count[d.VendorSlug] = map[Cohort]int{}
+			}
+			count[d.VendorSlug][s.Cohort]++
+		}
+	}
+	// Scaled Table 1 targets at 5%: akamai 24/10, fpjs 23/15, shopify 2/23.
+	check := func(slug string, cohort Cohort, lo, hi int) {
+		got := count[slug][cohort]
+		if got < lo || got > hi {
+			t.Fatalf("%s %s = %d, want [%d,%d]", slug, cohort, got, lo, hi)
+		}
+	}
+	check("akamai", Popular, 20, 29)
+	check("akamai", Tail, 7, 14)
+	check("fingerprintjs", Popular, 19, 28)
+	check("fingerprintjs", Tail, 11, 19)
+	check("shopify", Tail, 18, 28)
+	check("mailru", Popular, 5, 18)
+}
+
+func TestMailRUOnRUSites(t *testing.T) {
+	w := smallWeb(t)
+	for domain, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.VendorSlug == "mailru" && !strings.HasSuffix(domain, ".ru") {
+				t.Fatalf("mail.ru planted on non-.ru site %s", domain)
+			}
+		}
+	}
+}
+
+func TestAkamaiAlwaysFirstParty(t *testing.T) {
+	w := smallWeb(t)
+	for domain, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.VendorSlug != "akamai" {
+				continue
+			}
+			if !strings.Contains(d.ScriptURL, domain+"/akam/") {
+				t.Fatalf("akamai script not same-origin: %s on %s", d.ScriptURL, domain)
+			}
+		}
+	}
+}
+
+func TestImpervaPathShape(t *testing.T) {
+	w := smallWeb(t)
+	found := false
+	for domain, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.VendorSlug != "imperva" {
+				continue
+			}
+			found = true
+			// Path must be /Letters-And-Hyphens (the A.3 regexp).
+			i := strings.Index(d.ScriptURL, domain+"/")
+			if i < 0 {
+				t.Fatalf("imperva not first-party: %s", d.ScriptURL)
+			}
+			path := d.ScriptURL[i+len(domain)+1:]
+			for _, r := range path {
+				if !(r >= 'A' && r <= 'Z' || r >= 'a' && r <= 'z' || r == '-') {
+					t.Fatalf("imperva path %q has non-letter char", path)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no imperva deployments in small web")
+	}
+}
+
+func TestScriptsAreFetchable(t *testing.T) {
+	w := smallWeb(t)
+	checked := 0
+	for _, s := range w.Sites {
+		for _, sc := range s.Scripts {
+			if _, err := w.Store.Fetch(sc.URL); err != nil {
+				t.Fatalf("script %s on %s not fetchable: %v", sc.URL, s.Domain, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no scripts at all")
+	}
+}
+
+func TestScriptsParse(t *testing.T) {
+	// Every hosted script must be valid jsvm source.
+	w := Generate(Config{Seed: 3, Scale: 0.01})
+	seen := map[string]bool{}
+	for _, s := range append(w.Sites, w.Demos...) {
+		for _, sc := range s.Scripts {
+			key := sc.URL.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			r, err := w.Store.Fetch(sc.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := jsvm.Parse(r.Body); err != nil {
+				t.Fatalf("script %s does not parse: %v", key, err)
+			}
+		}
+	}
+}
+
+func TestCNAMECloakedDeployments(t *testing.T) {
+	w := Generate(Config{Seed: 11, Scale: 0.2})
+	cloaked := 0
+	for domain, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.Mode != services.ServeCNAME {
+				continue
+			}
+			cloaked++
+			alias := "metrics." + domain
+			if !w.DNS.IsCloaked(alias) {
+				t.Fatalf("CNAME deployment on %s lacks cloaking DNS", domain)
+			}
+			if !strings.Contains(d.ScriptURL, alias) {
+				t.Fatalf("cloaked URL should use the alias: %s", d.ScriptURL)
+			}
+		}
+	}
+	if cloaked == 0 {
+		t.Fatal("expected some CNAME-cloaked deployments at 20% scale")
+	}
+}
+
+func TestFirstPartyBundlesContainVendorCode(t *testing.T) {
+	w := smallWeb(t)
+	foundBundle := false
+	for domain, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.Mode != services.ServeFirstParty || d.VendorSlug != "fingerprintjs" || d.Rebrander != "" {
+				continue
+			}
+			u := scriptURL(domain, firstPartyBundlePath)
+			r, err := w.Store.Fetch(u)
+			if err != nil {
+				t.Fatalf("bundle missing on %s: %v", domain, err)
+			}
+			if !strings.Contains(r.Body, "__appInit") {
+				t.Fatal("bundle lacks the site's own code")
+			}
+			if !strings.Contains(r.Body, "FingerprintJS") {
+				t.Fatal("bundle lacks the vendor library")
+			}
+			foundBundle = true
+		}
+	}
+	if !foundBundle {
+		t.Fatal("no first-party FingerprintJS bundles found")
+	}
+}
+
+func TestDemoSites(t *testing.T) {
+	w := smallWeb(t)
+	if len(w.Demos) == 0 {
+		t.Fatal("no demo sites")
+	}
+	demoVendors := map[string]bool{}
+	for _, d := range w.Demos {
+		if d.Cohort != Demo || !d.CrawlOK {
+			t.Fatalf("demo site malformed: %+v", d)
+		}
+		for _, dep := range w.Truth[d.Domain] {
+			demoVendors[dep.VendorSlug] = true
+		}
+	}
+	for _, v := range services.Registry() {
+		if v.HasDemo && !demoVendors[v.Slug] {
+			t.Fatalf("vendor %s has demo but no demo site", v.Slug)
+		}
+		if !v.HasDemo && demoVendors[v.Slug] {
+			t.Fatalf("vendor %s should not have a demo site", v.Slug)
+		}
+	}
+}
+
+func TestStressSitePresent(t *testing.T) {
+	w := smallWeb(t)
+	found := false
+	for _, deps := range w.Truth {
+		for _, d := range deps {
+			if d.Inner {
+				continue
+			}
+			if d.Longtail == 999999 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("stress site missing")
+	}
+}
+
+func TestBenignOnlySites(t *testing.T) {
+	w := smallWeb(t)
+	benignOnly := 0
+	for _, s := range w.CohortSites(Popular) {
+		if !s.CrawlOK || w.Truth[s.Domain] != nil {
+			continue
+		}
+		for _, sc := range s.Scripts {
+			if strings.Contains(sc.URL.Path, "webp-check") || strings.Contains(sc.URL.Path, "small-canvas") {
+				benignOnly++
+				break
+			}
+		}
+	}
+	// Target: scaled(155) ≈ 8 at 5% scale.
+	if benignOnly < 4 || benignOnly > 14 {
+		t.Fatalf("benign-only popular sites = %d", benignOnly)
+	}
+}
+
+func TestActorSpecDeterminism(t *testing.T) {
+	a := newActorSpec(17, false)
+	b := newActorSpec(17, false)
+	if a != b {
+		t.Fatal("actor spec must be deterministic")
+	}
+	if a.Source() != b.Source() {
+		t.Fatal("actor source must be deterministic")
+	}
+	c := newActorSpec(18, false)
+	if a.Source() == c.Source() {
+		t.Fatal("different actors must have different scripts")
+	}
+}
+
+func TestActorSpecTailOnly(t *testing.T) {
+	a := newActorSpec(100001, true)
+	if a.Canvases > 2 {
+		t.Fatalf("tail-only actors draw at most 2 canvases, got %d", a.Canvases)
+	}
+	if a.Repeats != 1 {
+		t.Fatal("tail-only actors do not repeat")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	if cfg.scaled(100) != 10 {
+		t.Fatal("scaled")
+	}
+	if cfg.scaled(1) != 0 {
+		t.Fatal("scaled rounds")
+	}
+	if cfg.scaledMin1(1) != 1 {
+		t.Fatal("scaledMin1 floors at 1")
+	}
+}

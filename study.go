@@ -1,0 +1,177 @@
+// Package canvassing reproduces "Canvassing the Fingerprinters:
+// Characterizing Canvas Fingerprinting Use Across the Web" (IMC 2025) as
+// a self-contained simulation study.
+//
+// A Study bundles the full pipeline: synthetic-web generation, the
+// instrumented control crawl, fingerprintability detection, canvas
+// clustering, vendor attribution, blocklist analyses, ad-blocker
+// re-crawls, and the cross-machine validation crawl. Each experiment of
+// the paper (tables, figures, and headline statistics) is exposed as a
+// method returning a typed result with a Render() string form.
+//
+// Minimal use:
+//
+//	study := canvassing.Run(canvassing.Options{Seed: 1, Scale: 0.05})
+//	fmt.Println(study.Prevalence().Render())
+package canvassing
+
+import (
+	"canvassing/internal/attrib"
+	"canvassing/internal/blocklist"
+	"canvassing/internal/cluster"
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/machine"
+	"canvassing/internal/stats"
+	"canvassing/internal/web"
+)
+
+// Options configures a study run.
+type Options struct {
+	// Seed drives every random choice; equal seeds reproduce the study
+	// bit for bit.
+	Seed uint64
+	// Scale shrinks the web: 1.0 is the paper's 20k+20k crawl, 0.05 a
+	// laptop-quick 1k+1k run. Values <=0 select 1.0.
+	Scale float64
+	// Workers is the crawler pool width (<=0 selects 8).
+	Workers int
+	// WithAdblock adds the Adblock Plus and uBlock Origin re-crawls
+	// (Table 2 / E5).
+	WithAdblock bool
+	// WithM1 adds the Apple-silicon validation crawl (§3.1 / E9).
+	WithM1 bool
+}
+
+// Study holds all crawl and analysis artifacts.
+type Study struct {
+	Options Options
+	// Web is the generated world.
+	Web *web.Web
+	// Lists are the synthetic EasyList/EasyPrivacy/Disconnect lists.
+	Lists *blocklist.StandardLists
+	// Control is the extension-free crawl over both cohorts.
+	Control *crawler.Result
+	// Sites are the analyzed (detection-classified) control pages.
+	Sites []detect.SiteCanvases
+	// Clustering groups identical canvases across sites.
+	Clustering *cluster.Clustering
+	// GroundTruth holds per-vendor canvas hashes from demo/customer
+	// crawls.
+	GroundTruth *attrib.GroundTruth
+	// Attribution is the Table 1 attribution result.
+	Attribution *attrib.Result
+	// ABP and UBO are the ad-blocker re-crawls (nil unless WithAdblock).
+	ABP, UBO *crawler.Result
+	// M1 is the validation crawl (nil unless WithM1).
+	M1 *crawler.Result
+
+	crawlSites []*web.Site // cohort sites in crawl order
+}
+
+// New generates the web and lists without crawling. Use Run for the
+// whole pipeline.
+func New(opts Options) *Study {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	w := web.Generate(web.Config{Seed: opts.Seed, Scale: opts.Scale, TrancoMax: 1_000_000})
+	s := &Study{
+		Options: opts,
+		Web:     w,
+		Lists:   blocklist.NewStandardListsWithTrackers(opts.Seed, longtailTrackerCoverage()),
+	}
+	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
+	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
+	return s
+}
+
+// Run executes the full pipeline for opts.
+func Run(opts Options) *Study {
+	s := New(opts)
+	s.RunControl()
+	s.Analyze()
+	if opts.WithAdblock {
+		s.RunAdblock()
+	}
+	if opts.WithM1 {
+		s.RunM1()
+	}
+	return s
+}
+
+// crawlConfig builds the shared crawler configuration.
+func (s *Study) crawlConfig() crawler.Config {
+	cfg := crawler.DefaultConfig()
+	cfg.Workers = s.Options.Workers
+	cfg.Seed = s.Options.Seed
+	return cfg
+}
+
+// RunControl performs the control crawl over both cohorts.
+func (s *Study) RunControl() {
+	s.Control = crawler.Crawl(s.Web, s.crawlSites, s.crawlConfig())
+}
+
+// Analyze runs detection, clustering, ground truth and attribution over
+// the control crawl. RunControl must have been called.
+func (s *Study) Analyze() {
+	s.Sites = detect.AnalyzeAll(s.Control.Pages)
+	s.Clustering = cluster.Build(s.Sites)
+	s.GroundTruth = attrib.BuildGroundTruth(s.Web, s.Sites, s.crawlConfig())
+	s.Attribution = attrib.Attribute(s.Clustering, s.GroundTruth, s.Sites)
+}
+
+// RunAdblock performs the two ad-blocker re-crawls (Table 2).
+func (s *Study) RunAdblock() {
+	abpCfg := s.crawlConfig()
+	abpCfg.Extension = newABP(s.Lists)
+	s.ABP = crawler.Crawl(s.Web, s.crawlSites, abpCfg)
+	uboCfg := s.crawlConfig()
+	uboCfg.Extension = newUBO(s.Lists)
+	s.UBO = crawler.Crawl(s.Web, s.crawlSites, uboCfg)
+}
+
+// RunM1 performs the Apple-silicon validation crawl (§3.1).
+func (s *Study) RunM1() {
+	cfg := s.crawlConfig()
+	cfg.Profile = machine.AppleM1()
+	s.M1 = crawler.Crawl(s.Web, s.crawlSites, cfg)
+}
+
+// longtailTrackerCoverage decides which boutique fingerprinting hosts the
+// crowdsourced lists know about. Coverage is nested the way real lists
+// correlate: the notorious 15% sit in all three lists, a further slice in
+// EasyPrivacy+Disconnect, and EasyPrivacy alone catches most of the rest.
+func longtailTrackerCoverage() []blocklist.TrackerHost {
+	var out []blocklist.TrackerHost
+	for _, id := range web.LongtailActorIDs() {
+		host := web.ActorHost(id)
+		r := stats.HashString("coverage:"+host) % 100
+		t := blocklist.TrackerHost{Host: host}
+		switch {
+		case r < 10:
+			t.EL, t.EP, t.Disc = true, true, true
+		case r < 35:
+			t.EP, t.Disc = true, true
+		case r < 50:
+			t.EP = true
+		default:
+			// ~15% of boutique trackers fly under every list's radar.
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// cohortSites filters the analyzed sites of one cohort.
+func (s *Study) cohortSites(c web.Cohort) []detect.SiteCanvases {
+	var out []detect.SiteCanvases
+	for i := range s.Sites {
+		if s.Sites[i].Cohort == c {
+			out = append(out, s.Sites[i])
+		}
+	}
+	return out
+}
