@@ -1,0 +1,26 @@
+# Build/verify targets. `make check` is the extended verify command
+# recorded in ROADMAP.md: build + full tests + race on the concurrent
+# packages + vet.
+
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The crawler worker pool and the obs registry are the two places
+# goroutines share state; hammer them under the race detector.
+race:
+	$(GO) test -race ./internal/crawler ./internal/obs
+
+vet:
+	$(GO) vet ./...
+
+check: build test race vet
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...

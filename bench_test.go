@@ -15,6 +15,7 @@ import (
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/imaging"
+	"canvassing/internal/obs"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -182,6 +183,21 @@ func BenchmarkControlCrawl(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		crawler.Crawl(w, sites, cfg)
 	}
+}
+
+// BenchmarkCrawlWithTelemetry is BenchmarkControlCrawl with the obs
+// registry attached — the instrumented path must stay within ~5% of
+// the bare path (see DESIGN.md §5).
+func BenchmarkCrawlWithTelemetry(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	cfg := crawler.DefaultConfig()
+	cfg.Telemetry = obs.NewTelemetry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crawler.Crawl(w, sites, cfg)
+	}
+	b.ReportMetric(float64(cfg.Telemetry.Metrics.Counter("crawl.visits.ok").Value())/float64(b.N), "pages-ok")
 }
 
 // BenchmarkAblationParseCache compares crawling with and without the

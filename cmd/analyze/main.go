@@ -15,6 +15,7 @@ import (
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
+	"canvassing/internal/obs"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -22,7 +23,10 @@ import (
 func main() {
 	in := flag.String("in", "", "crawl JSONL path (default stdin)")
 	topK := flag.Int("top", 25, "canvas groups to print")
+	metrics := flag.Bool("metrics", false, "print analysis phase timings and counters to stderr")
 	flag.Parse()
+
+	tel := obs.NewTelemetry()
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -33,6 +37,7 @@ func main() {
 		defer f.Close()
 		src = f
 	}
+	sp := tel.Tracer.Start("read-input")
 	var pages []*crawler.PageResult
 	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 1<<20), 64<<20)
@@ -46,11 +51,15 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+	sp.End()
 	if len(pages) == 0 {
 		log.Fatal("no pages in input")
 	}
+	tel.Metrics.Counter("analyze.pages").Add(int64(len(pages)))
 
+	sp = tel.Tracer.Start("detect")
 	sites := detect.AnalyzeAll(pages)
+	sp.End()
 	t := report.NewTable("Prevalence", "cohort", "crawled-ok", "fp-sites", "prevalence", "yield")
 	for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
 		var sub []detect.SiteCanvases
@@ -69,7 +78,9 @@ func main() {
 	}
 	fmt.Println(t.String())
 
+	sp = tel.Tracer.Start("cluster")
 	cl := cluster.Build(sites)
+	sp.End()
 	fmt.Printf("canvas groups: %d (popular-unique %d, tail-unique %d)\n\n",
 		len(cl.Groups), cl.UniqueCanvases(web.Popular), cl.UniqueCanvases(web.Tail))
 
@@ -79,4 +90,10 @@ func main() {
 			g.Events, len(g.ScriptURLs), g.Hash[:12])
 	}
 	fmt.Println(t2.String())
+
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "Phase timings")
+		fmt.Fprint(os.Stderr, tel.Tracer.RenderPhases())
+		fmt.Fprint(os.Stderr, tel.Metrics.RenderText())
+	}
 }

@@ -1,6 +1,10 @@
 // Command crawl runs the instrumented crawler over a synthetic web and
 // writes one JSON object per visited page to stdout or a file — the
 // equivalent of the paper's Tracker Radar Collector output.
+//
+// Telemetry: -metrics prints the metrics snapshot to stderr, -trace
+// writes the span trace as JSON lines, and -pprof serves /metrics,
+// /spans, and net/http/pprof live during the crawl.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"canvassing/internal/blocklist"
 	"canvassing/internal/crawler"
 	"canvassing/internal/machine"
+	"canvassing/internal/obs"
 	"canvassing/internal/web"
 )
 
@@ -26,9 +31,19 @@ func main() {
 	blocker := flag.String("adblock", "none", "none, abp, or ubo")
 	workers := flag.Int("workers", 8, "crawler worker pool width")
 	out := flag.String("out", "", "output JSONL path (default stdout)")
+	metrics := flag.Bool("metrics", false, "print the metrics snapshot and phase timings to stderr")
+	trace := flag.String("trace", "", "write the span trace as JSON lines to this path")
+	pprofAddr := flag.String("pprof", "", "serve live /metrics, /spans, and /debug/pprof on this address during the crawl")
 	flag.Parse()
 
+	tel := obs.NewTelemetry()
+	if *pprofAddr != "" {
+		serveDebug(*pprofAddr, tel)
+	}
+
+	sp := tel.Tracer.Start("webgen")
 	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
+	sp.End()
 
 	var sites []*web.Site
 	switch *cohort {
@@ -64,7 +79,10 @@ func main() {
 		log.Fatalf("unknown adblock %q", *blocker)
 	}
 
+	cfg.Telemetry = tel
+	sp = tel.Tracer.Start("crawl", "machine", *machineName, "adblock", *blocker)
 	res := crawler.Crawl(w, sites, cfg)
+	sp.End()
 
 	dst := os.Stdout
 	if *out != "" {
@@ -78,16 +96,42 @@ func main() {
 	bw := bufio.NewWriter(dst)
 	defer bw.Flush()
 	enc := json.NewEncoder(bw)
-	pages, extractions := 0, 0
 	for _, p := range res.Pages {
 		if err := enc.Encode(p); err != nil {
 			log.Fatal(err)
 		}
-		if p.OK {
-			pages++
-			extractions += len(p.Extractions)
-		}
 	}
+	st := res.Stats().Total
 	fmt.Fprintf(os.Stderr, "crawled %d pages ok (%d visited), %d extractions, machine=%s adblock=%s\n",
-		pages, len(res.Pages), extractions, res.Machine, *blocker)
+		st.OK, st.Visited, st.Extractions, res.Machine, *blocker)
+
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "\nPhase timings")
+		fmt.Fprint(os.Stderr, tel.Tracer.RenderPhases())
+		fmt.Fprintf(os.Stderr, "parse-cache hit rate: %.1f%%\n\n", 100*crawler.CacheHitRate(tel.Metrics))
+		fmt.Fprint(os.Stderr, tel.Metrics.RenderText())
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tel.Tracer.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote span trace to %s\n", *trace)
+	}
+}
+
+// serveDebug starts the live telemetry endpoint and surfaces startup
+// failures (a taken port would otherwise be silent).
+func serveDebug(addr string, tel *obs.Telemetry) {
+	errc := obs.Serve(addr, tel, true)
+	go func() {
+		if err := <-errc; err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", addr, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /debug/pprof on %s\n", addr)
 }

@@ -5,6 +5,10 @@
 //
 // The paper-scale run is -scale 1 (20k popular + 20k tail sites); the
 // default 0.1 finishes in well under a minute.
+//
+// Telemetry: -metrics appends the phase-timing table and metrics
+// snapshot, -trace writes the span trace as JSON lines, and -pprof
+// serves /metrics, /spans, and net/http/pprof live during the run.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"canvassing"
+	"canvassing/internal/obs"
 )
 
 func main() {
@@ -24,6 +29,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner), 'all', or 'compare'")
 	out := flag.String("out", "", "also write the report to this file")
 	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
+	metrics := flag.Bool("metrics", false, "append the phase-timing table and metrics snapshot to the report")
+	trace := flag.String("trace", "", "write the span trace as JSON lines to this path")
+	pprofAddr := flag.String("pprof", "", "serve live /metrics, /spans, and /debug/pprof on this address during the run")
 	flag.Parse()
 
 	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
@@ -34,17 +42,37 @@ func main() {
 		return
 	case "inner", "ex2":
 		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers})
-		emit(s.InnerPages().Render(), *out)
+		text := s.InnerPages().Render()
+		if *metrics {
+			text += "\n" + s.TelemetryReport()
+		}
+		emit(text, *out)
+		finishTelemetry(s, *trace)
 		return
 	}
 
-	s := canvassing.Run(canvassing.Options{
+	// Build the study in stages (rather than canvassing.Run) so the
+	// debug endpoint is live while the crawls execute.
+	s := canvassing.New(canvassing.Options{
 		Seed:        *seed,
 		Scale:       *scale,
 		Workers:     *workers,
 		WithAdblock: true,
 		WithM1:      true,
 	})
+	if *pprofAddr != "" {
+		errc := obs.Serve(*pprofAddr, s.Telemetry(), true)
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", *pprofAddr, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /debug/pprof on %s\n", *pprofAddr)
+	}
+	s.RunControl()
+	s.Analyze()
+	s.RunAdblock()
+	s.RunM1()
 
 	var text string
 	switch strings.ToLower(*exp) {
@@ -88,7 +116,11 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 
+	if *metrics {
+		text += "\n" + s.TelemetryReport()
+	}
 	emit(text, *out)
+	finishTelemetry(s, *trace)
 
 	if *dumpDir != "" {
 		files, err := s.DumpSampleCanvases(*dumpDir, 3)
@@ -97,6 +129,22 @@ func main() {
 		}
 		fmt.Printf("wrote %d sample canvases to %s\n", len(files), *dumpDir)
 	}
+}
+
+// finishTelemetry writes the span trace export if requested.
+func finishTelemetry(s *canvassing.Study, trace string) {
+	if trace == "" {
+		return
+	}
+	f, err := os.Create(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.Telemetry().Tracer.WriteJSONL(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: wrote span trace to %s\n", trace)
 }
 
 // emit prints the report and optionally writes it to a file.

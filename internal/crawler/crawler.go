@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"canvassing/internal/blocklist"
 	"canvassing/internal/canvas"
@@ -17,6 +18,7 @@ import (
 	"canvassing/internal/jsvm"
 	"canvassing/internal/machine"
 	"canvassing/internal/netsim"
+	"canvassing/internal/obs"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -127,6 +129,11 @@ type Config struct {
 	// DisableParseCache forces re-parsing every script body on every
 	// page (ablation benchmark).
 	DisableParseCache bool
+	// Telemetry, when non-nil, receives crawl metrics: visit latency,
+	// queue wait, worker utilization, script outcome counters,
+	// parse-cache effectiveness, and jsvm step usage. Nil runs the
+	// bare, uninstrumented path.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultConfig returns the paper's crawl configuration: consent
@@ -150,22 +157,77 @@ type progCache struct {
 	progs map[uint64]*jsvm.Program
 }
 
-func (c *progCache) get(body string) (*jsvm.Program, error) {
+// get returns the parsed program for body and whether it was a cache
+// hit.
+func (c *progCache) get(body string) (*jsvm.Program, bool, error) {
 	key := stats.HashString(body)
 	c.mu.RLock()
 	p, ok := c.progs[key]
 	c.mu.RUnlock()
 	if ok {
-		return p, nil
+		return p, true, nil
 	}
 	p, err := jsvm.Parse(body)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	c.progs[key] = p
 	c.mu.Unlock()
-	return p, nil
+	return p, false, nil
+}
+
+// crawlMetrics holds the pre-resolved metric handles for one crawl.
+// A nil *crawlMetrics is the uninstrumented path; every use is
+// guarded, so the bare crawl pays nothing.
+type crawlMetrics struct {
+	visitsOK, visitsFailed     *obs.Counter
+	extractions                *obs.Counter
+	scriptsRun, scriptsBlocked *obs.Counter
+	scriptErrors, consentSkip  *obs.Counter
+	cacheHits, cacheMisses     *obs.Counter
+	visitLatency, queueWait    *obs.Histogram
+	parseTime, vmSteps         *obs.Histogram
+	workerUtil                 *obs.Histogram
+	workers                    *obs.Gauge
+}
+
+func newCrawlMetrics(reg *obs.Registry) *crawlMetrics {
+	return &crawlMetrics{
+		visitsOK:       reg.Counter("crawl.visits.ok"),
+		visitsFailed:   reg.Counter("crawl.visits.failed"),
+		extractions:    reg.Counter("crawl.extractions"),
+		scriptsRun:     reg.Counter("crawl.scripts.executed"),
+		scriptsBlocked: reg.Counter("crawl.scripts.blocked"),
+		scriptErrors:   reg.Counter("crawl.scripts.errors"),
+		consentSkip:    reg.Counter("crawl.scripts.consent_skipped"),
+		cacheHits:      reg.Counter("crawl.parsecache.hits"),
+		cacheMisses:    reg.Counter("crawl.parsecache.misses"),
+		visitLatency:   reg.Histogram("crawl.visit.seconds", obs.LatencyBuckets()),
+		queueWait:      reg.Histogram("crawl.queue.wait.seconds", obs.LatencyBuckets()),
+		parseTime:      reg.Histogram("crawl.parse.seconds", obs.LatencyBuckets()),
+		vmSteps:        reg.Histogram("jsvm.script.steps", obs.StepBuckets()),
+		workerUtil:     reg.Histogram("crawl.worker.utilization", obs.RatioBuckets()),
+		workers:        reg.Gauge("crawl.workers"),
+	}
+}
+
+// CacheHitRate returns the parse-cache hit rate over the whole
+// registry lifetime (0 when no lookups happened).
+func CacheHitRate(reg *obs.Registry) float64 {
+	hits := reg.Counter("crawl.parsecache.hits").Value()
+	misses := reg.Counter("crawl.parsecache.misses").Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// job is one queued page visit; At carries the enqueue time when the
+// crawl is instrumented (zero otherwise).
+type job struct {
+	i  int
+	at time.Time
 }
 
 // Crawl visits the given sites of w and returns per-page results.
@@ -186,20 +248,46 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	if cfg.Extension != nil {
 		res.Extension = cfg.Extension.Name()
 	}
+	var mx *crawlMetrics
+	if cfg.Telemetry != nil {
+		mx = newCrawlMetrics(cfg.Telemetry.Metrics)
+		mx.workers.Set(int64(cfg.Workers))
+	}
 	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	jobs := make(chan job)
+	crawlStart := time.Now()
 	for k := 0; k < cfg.Workers; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				res.Pages[i] = visit(w, sites[i], cfg, cache)
+			var busy time.Duration
+			for j := range jobs {
+				var t0 time.Time
+				if mx != nil {
+					t0 = time.Now()
+					mx.queueWait.ObserveDuration(t0.Sub(j.at))
+				}
+				res.Pages[j.i] = visit(w, sites[j.i], cfg, cache, mx)
+				if mx != nil {
+					d := time.Since(t0)
+					busy += d
+					mx.visitLatency.ObserveDuration(d)
+				}
+			}
+			if mx != nil {
+				if wall := time.Since(crawlStart); wall > 0 {
+					mx.workerUtil.Observe(busy.Seconds() / wall.Seconds())
+				}
 			}
 		}()
 	}
 	for i := range sites {
-		jobs <- i
+		j := job{i: i}
+		if mx != nil {
+			j.at = time.Now()
+		}
+		jobs <- j
 	}
 	close(jobs)
 	wg.Wait()
@@ -207,7 +295,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 }
 
 // visit performs one page load.
-func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult {
+func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics) *PageResult {
 	pr := &PageResult{
 		Domain:        site.Domain,
 		Rank:          site.Rank,
@@ -217,7 +305,13 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult
 		ScriptErrors:  map[string]string{},
 	}
 	if !site.CrawlOK {
+		if mx != nil {
+			mx.visitsFailed.Inc()
+		}
 		return pr
+	}
+	if mx != nil {
+		mx.visitsOK.Inc()
 	}
 	in := jsvm.New(jsvm.Options{
 		MaxSteps: cfg.MaxStepsPerScript,
@@ -260,6 +354,9 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult
 
 	runScript := func(ps web.PageScript) {
 		if ps.NeedsConsent && !cfg.AutoConsent {
+			if mx != nil {
+				mx.consentSkip.Inc()
+			}
 			return // banner never accepted: gated tag stays dormant
 		}
 		req := blocklist.Request{
@@ -270,18 +367,37 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult
 		}
 		if cfg.Extension != nil && cfg.Extension.BlockScript(req) {
 			pr.BlockedScripts = append(pr.BlockedScripts, req.URL)
+			if mx != nil {
+				mx.scriptsBlocked.Inc()
+			}
 			return
 		}
 		body, err := w.Store.Fetch(ps.URL)
 		if err != nil {
 			pr.ScriptErrors[req.URL] = fmt.Sprintf("fetch: %v", err)
+			if mx != nil {
+				mx.scriptErrors.Inc()
+			}
 			return
 		}
 		var prog *jsvm.Program
+		var parseStart time.Time
+		if mx != nil {
+			parseStart = time.Now()
+		}
+		hit := false
 		if cfg.DisableParseCache {
 			prog, err = jsvm.Parse(body.Body)
 		} else {
-			prog, err = cache.get(body.Body)
+			prog, hit, err = cache.get(body.Body)
+		}
+		if mx != nil {
+			mx.parseTime.ObserveDuration(time.Since(parseStart))
+			if hit {
+				mx.cacheHits.Inc()
+			} else {
+				mx.cacheMisses.Inc()
+			}
 		}
 		if err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
@@ -292,6 +408,13 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult
 		in.ResetSteps()
 		if _, err := in.Run(prog); err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
+			if mx != nil {
+				mx.scriptErrors.Inc()
+			}
+		}
+		if mx != nil {
+			mx.scriptsRun.Inc()
+			mx.vmSteps.Observe(float64(in.Steps()))
 		}
 		currentScript = prev
 	}
@@ -315,5 +438,8 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache) *PageResult
 		}
 	}
 	sort.Slice(pr.Extractions, func(i, j int) bool { return pr.Extractions[i].Seq < pr.Extractions[j].Seq })
+	if mx != nil {
+		mx.extractions.Add(int64(len(pr.Extractions)))
+	}
 	return pr
 }

@@ -1,0 +1,70 @@
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"canvassing/internal/web"
+)
+
+// CohortStats summarizes one cohort's (or the whole crawl's) pages.
+type CohortStats struct {
+	// Visited counts all pages attempted, OK/Failed split them.
+	Visited, OK, Failed int
+	// Extractions totals canvas extraction events on OK pages.
+	Extractions int
+	// BlockedScripts totals extension-blocked script loads.
+	BlockedScripts int
+	// ScriptErrors totals scripts that failed to fetch, parse, or run.
+	ScriptErrors int
+}
+
+func (c *CohortStats) add(p *PageResult) {
+	c.Visited++
+	if p.OK {
+		c.OK++
+	} else {
+		c.Failed++
+	}
+	c.Extractions += len(p.Extractions)
+	c.BlockedScripts += len(p.BlockedScripts)
+	c.ScriptErrors += len(p.ScriptErrors)
+}
+
+// ResultStats is the crawl-wide failure and yield accounting that
+// reports previously recomputed ad hoc.
+type ResultStats struct {
+	Total     CohortStats
+	PerCohort map[web.Cohort]CohortStats
+}
+
+// Stats tallies per-cohort and total page outcomes in one pass.
+func (r *Result) Stats() ResultStats {
+	st := ResultStats{PerCohort: map[web.Cohort]CohortStats{}}
+	for _, p := range r.Pages {
+		st.Total.add(p)
+		cs := st.PerCohort[p.Cohort]
+		cs.add(p)
+		st.PerCohort[p.Cohort] = cs
+	}
+	return st
+}
+
+// String renders a one-line-per-cohort crawl summary.
+func (s ResultStats) String() string {
+	var sb strings.Builder
+	cohorts := make([]web.Cohort, 0, len(s.PerCohort))
+	for c := range s.PerCohort {
+		cohorts = append(cohorts, c)
+	}
+	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i] < cohorts[j] })
+	for _, c := range cohorts {
+		cs := s.PerCohort[c]
+		fmt.Fprintf(&sb, "%s: ok %d/%d, extractions %d, blocked %d, script-errors %d\n",
+			c, cs.OK, cs.Visited, cs.Extractions, cs.BlockedScripts, cs.ScriptErrors)
+	}
+	fmt.Fprintf(&sb, "total: ok %d/%d, extractions %d, blocked %d, script-errors %d",
+		s.Total.OK, s.Total.Visited, s.Total.Extractions, s.Total.BlockedScripts, s.Total.ScriptErrors)
+	return sb.String()
+}

@@ -110,6 +110,13 @@ func (in *Interp) Global(name string) (Value, bool) {
 // ResetSteps restores the full step budget (between page scripts).
 func (in *Interp) ResetSteps() { in.steps = 0 }
 
+// Steps reports the evaluation steps consumed since the last
+// ResetSteps — the crawler's per-script budget telemetry.
+func (in *Interp) Steps() int { return in.steps }
+
+// MaxSteps reports the configured step budget.
+func (in *Interp) MaxSteps() int { return in.maxSteps }
+
 // RunSource parses and runs src, returning the value of the last
 // expression statement.
 func (in *Interp) RunSource(src string) (Value, error) {

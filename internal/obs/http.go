@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry snapshot as JSON — an expvar-style
+// endpoint for live inspection of a running crawl.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Handler serves finished spans as JSON lines.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = t.WriteJSONL(w)
+	})
+}
+
+// NewMux builds the debug mux for a telemetry bundle: /metrics
+// (registry JSON), /metrics.txt (terminal rendering), /spans (JSONL),
+// and, when withPprof is set, the standard net/http/pprof endpoints
+// under /debug/pprof/. The pprof handlers are registered explicitly so
+// importing this package never pollutes http.DefaultServeMux.
+func NewMux(tel *Telemetry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", tel.Metrics.Handler())
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(tel.Metrics.RenderText()))
+	})
+	mux.Handle("/spans", tel.Tracer.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve starts the debug mux on addr in a background goroutine and
+// returns immediately. Errors (e.g. a taken port) are reported on the
+// returned channel; the server runs for the life of the process, which
+// is the intended scope of a crawl debug endpoint.
+func Serve(addr string, tel *Telemetry, withPprof bool) <-chan error {
+	errc := make(chan error, 1)
+	srv := &http.Server{Addr: addr, Handler: NewMux(tel, withPprof)}
+	go func() { errc <- srv.ListenAndServe() }()
+	return errc
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Metrics.Counter("crawl.visits").Add(7)
+	tel.Tracer.Start("crawl").End()
+	mux := NewMux(tel, true)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/metrics")
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["crawl.visits"] != 7 {
+		t.Fatalf("counter = %d, want 7", snap.Counters["crawl.visits"])
+	}
+
+	if body := get("/metrics.txt").Body.String(); !strings.Contains(body, "crawl.visits") {
+		t.Fatalf("/metrics.txt missing counter:\n%s", body)
+	}
+
+	if body := get("/spans").Body.String(); !strings.Contains(body, `"crawl"`) {
+		t.Fatalf("/spans missing span:\n%s", body)
+	}
+
+	if code := get("/debug/pprof/cmdline").Code; code != 200 {
+		t.Fatalf("pprof cmdline status = %d", code)
+	}
+}
+
+func TestMuxWithoutPprof(t *testing.T) {
+	mux := NewMux(NewTelemetry(), false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 404 {
+		t.Fatalf("pprof must be absent unless requested, got %d", rec.Code)
+	}
+}

@@ -1,0 +1,456 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (can go up and down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts by delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper
+// bounds; one implicit overflow bucket catches everything above the
+// last bound. Observations, the running sum, and min/max are all
+// atomic, so Observe is safe (and cheap) from many goroutines.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is overflow
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat
+	max     atomicFloat
+}
+
+// atomicFloat is a float64 with atomic load/store/add via CAS on bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// casMin/casMax fold v into the running extreme.
+func (f *atomicFloat) casMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) casMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.casMin(v)
+	h.max.casMax(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// LatencyBuckets returns the default bounds for wall-time histograms:
+// exponential from 50µs to ~26s, wide enough for a whole-phase span
+// and fine enough for a single page visit.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 0, 20)
+	for v := 50e-6; v < 30; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// StepBuckets returns bounds for jsvm interpreter-step histograms,
+// exponential from 256 steps to beyond the 20M crawl budget.
+func StepBuckets() []float64 {
+	out := make([]float64, 0, 18)
+	for v := 256.0; v < 33_000_000; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// RatioBuckets returns ten equal-width bounds on [0,1], for
+// utilization- and hit-rate-style histograms.
+func RatioBuckets() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = float64(i+1) / 10
+	}
+	return out
+}
+
+// Registry holds named metrics. Metric handles are get-or-create:
+// two callers asking for the same name share the same metric, so the
+// registry can be threaded through a pipeline without coordination.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use. Later calls reuse the
+// existing histogram regardless of bounds, so callers agree on bounds
+// by construction (first writer wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// BucketSnapshot is one histogram bucket in a snapshot.
+type BucketSnapshot struct {
+	// UpperBound is the inclusive upper bound; +Inf for the overflow
+	// bucket.
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// bucketJSON is the wire form: encoding/json rejects +Inf, so the
+// overflow bound travels as the string "+Inf" (Prometheus convention).
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string so +Inf survives.
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(bucketJSON{LE: le, Count: b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var w bucketJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(w.LE, 64)
+		if err != nil {
+			return err
+		}
+		b.UpperBound = v
+	}
+	b.Count = w.Count
+	return nil
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the target rank. The
+// overflow bucket reports its lower bound (the estimate is a floor
+// there, matching Prometheus semantics).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen int64
+	lower := 0.0
+	for _, b := range h.Buckets {
+		if float64(seen+b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return lower
+			}
+			if b.Count == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - float64(seen)) / float64(b.Count)
+			return lower + frac*(b.UpperBound-lower)
+		}
+		seen += b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			lower = b.UpperBound
+		}
+	}
+	return lower
+}
+
+// Snapshot is a point-in-time copy of the whole registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric. Each individual value is read
+// atomically; the snapshot as a whole is a consistent listing of all
+// metrics that existed when it was taken.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count:   h.count.Load(),
+			Sum:     h.sum.load(),
+			Buckets: make([]BucketSnapshot, len(h.buckets)),
+		}
+		if hs.Count > 0 {
+			hs.Min = h.min.load()
+			hs.Max = h.max.load()
+		}
+		for i := range h.buckets {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hs.Buckets[i] = BucketSnapshot{UpperBound: ub, Count: h.buckets[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// RenderText formats the snapshot as an aligned terminal listing:
+// counters and gauges first, then one summary line per histogram with
+// count/mean/p50/p95/max.
+func (s Snapshot) RenderText() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for n := range s.Histograms {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		v, isCounter := s.Counters[n]
+		if !isCounter {
+			v = s.Gauges[n]
+		}
+		fmt.Fprintf(&sb, "%-*s  %d\n", width, n, v)
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		f := h.sampleFormatter()
+		fmt.Fprintf(&sb, "%-*s  n=%d mean=%s p50=%s p95=%s max=%s\n",
+			width, n, h.Count,
+			f(h.Mean()), f(h.Quantile(0.5)), f(h.Quantile(0.95)), f(h.Max))
+	}
+	return sb.String()
+}
+
+// sampleFormatter picks a value renderer from the bucket layout:
+// ratio-shaped histograms (all bounds within [0,1]) print scalars,
+// wide-range histograms (steps) print integers, and everything else is
+// treated as seconds and printed as a duration.
+func (h HistogramSnapshot) sampleFormatter() func(float64) string {
+	maxBound := 0.0
+	for _, b := range h.Buckets {
+		if !math.IsInf(b.UpperBound, 1) && b.UpperBound > maxBound {
+			maxBound = b.UpperBound
+		}
+	}
+	switch {
+	case maxBound <= 1:
+		return func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	case maxBound > 1000:
+		return func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	default:
+		return func(v float64) string {
+			if v == 0 {
+				return "0"
+			}
+			return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+		}
+	}
+}
+
+// RenderText snapshots the registry and renders it.
+func (r *Registry) RenderText() string { return r.Snapshot().RenderText() }
+
+// WriteJSON writes the snapshot as one indented JSON object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span. Records form a forest: a span
+// started from the tracer is a root phase; a span started from
+// another span is its child.
+type SpanRecord struct {
+	ID       int64             `json:"id"`
+	ParentID int64             `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Start    time.Time         `json:"start"`
+	// Duration is the wall time between Start() and End().
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Span is an in-flight trace region. End it exactly once; child spans
+// started from it nest under it in the exported records.
+type Span struct {
+	tr     *Tracer
+	id     int64
+	parent int64
+	name   string
+	labels map[string]string
+	start  time.Time
+	ended  atomic.Bool
+}
+
+// Tracer collects spans. It is safe for concurrent use; finished
+// spans accumulate in memory (a study produces tens of spans, not
+// millions) and can be drained as records or JSON lines.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int64
+	done   []SpanRecord
+	now    func() time.Time // test seam
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{now: time.Now}
+}
+
+// Start opens a root span (a pipeline phase). Labels are alternating
+// key/value pairs; a trailing odd key is dropped.
+func (t *Tracer) Start(name string, labels ...string) *Span {
+	return t.start(0, name, labels)
+}
+
+func (t *Tracer) start(parent int64, name string, labels []string) *Span {
+	sp := &Span{
+		tr:     t,
+		parent: parent,
+		name:   name,
+		labels: labelMap(labels),
+	}
+	t.mu.Lock()
+	t.nextID++
+	sp.id = t.nextID
+	sp.start = t.now()
+	t.mu.Unlock()
+	return sp
+}
+
+func labelMap(kv []string) map[string]string {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// StartChild opens a span nested under sp.
+func (sp *Span) StartChild(name string, labels ...string) *Span {
+	return sp.tr.start(sp.id, name, labels)
+}
+
+// SetLabel attaches or overwrites one label on an un-ended span.
+func (sp *Span) SetLabel(k, v string) {
+	if sp.labels == nil {
+		sp.labels = map[string]string{}
+	}
+	sp.labels[k] = v
+}
+
+// End closes the span and files its record. It returns the span's
+// wall duration; second and later calls are no-ops returning 0.
+func (sp *Span) End() time.Duration {
+	if !sp.ended.CompareAndSwap(false, true) {
+		return 0
+	}
+	t := sp.tr
+	t.mu.Lock()
+	d := t.now().Sub(sp.start)
+	t.done = append(t.done, SpanRecord{
+		ID:       sp.id,
+		ParentID: sp.parent,
+		Name:     sp.name,
+		Labels:   sp.labels,
+		Start:    sp.start,
+		Duration: d,
+	})
+	t.mu.Unlock()
+	return d
+}
+
+// Records returns a copy of all finished spans in end order.
+func (t *Tracer) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.done))
+	copy(out, t.done)
+	return out
+}
+
+// WriteJSONL writes one JSON object per finished span, in end order —
+// the trace export format (-trace flag).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Phase is one aggregated root-span name in a phase summary.
+type Phase struct {
+	Name  string
+	Count int
+	Total time.Duration
+	// Children aggregates nested spans by name, depth-first.
+	Children []Phase
+}
+
+// PhaseSummary aggregates finished spans by name into a forest ordered
+// by first start time: each root phase with its total wall time, call
+// count, and aggregated children. This is what the phase-timing table
+// renders.
+func (t *Tracer) PhaseSummary() []Phase {
+	recs := t.Records()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	children := map[int64][]SpanRecord{}
+	for _, r := range recs {
+		children[r.ParentID] = append(children[r.ParentID], r)
+	}
+	idName := map[int64]string{}
+	for _, r := range recs {
+		idName[r.ID] = r.Name
+	}
+	var build func(parentIDs []int64) []Phase
+	build = func(parentIDs []int64) []Phase {
+		// Aggregate all children of the given parents by span name,
+		// keeping first-start order.
+		var order []string
+		agg := map[string]*Phase{}
+		ids := map[string][]int64{}
+		for _, pid := range parentIDs {
+			for _, r := range children[pid] {
+				p := agg[r.Name]
+				if p == nil {
+					p = &Phase{Name: r.Name}
+					agg[r.Name] = p
+					order = append(order, r.Name)
+				}
+				p.Count++
+				p.Total += r.Duration
+				ids[r.Name] = append(ids[r.Name], r.ID)
+			}
+		}
+		out := make([]Phase, 0, len(order))
+		for _, name := range order {
+			p := agg[name]
+			p.Children = build(ids[name])
+			out = append(out, *p)
+		}
+		return out
+	}
+	return build([]int64{0})
+}
+
+// TotalWall sums root-phase durations — the pipeline's instrumented
+// wall time (phases that ran concurrently count separately).
+func (t *Tracer) TotalWall() time.Duration {
+	var total time.Duration
+	for _, r := range t.Records() {
+		if r.ParentID == 0 {
+			total += r.Duration
+		}
+	}
+	return total
+}
+
+// RenderPhases formats the phase summary as an indented two-column
+// listing with per-phase share of total root wall time.
+func (t *Tracer) RenderPhases() string {
+	phases := t.PhaseSummary()
+	total := t.TotalWall()
+	var sb strings.Builder
+	var walk func(ps []Phase, depth int)
+	walk = func(ps []Phase, depth int) {
+		for _, p := range ps {
+			name := strings.Repeat("  ", depth) + p.Name
+			share := ""
+			if depth == 0 && total > 0 {
+				share = fmt.Sprintf("  %5.1f%%", 100*float64(p.Total)/float64(total))
+			}
+			fmt.Fprintf(&sb, "%-28s %12s%s\n", name, p.Total.Round(time.Microsecond), share)
+			walk(p.Children, depth+1)
+		}
+	}
+	walk(phases, 0)
+	return sb.String()
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a deterministic amount on every read so span
+// durations are predictable in tests.
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1_700_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanHierarchyAndSummary(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+
+	run := tr.Start("run")
+	crawl := run.StartChild("crawl", "cohort", "popular")
+	crawl.End()
+	run.StartChild("detect").End()
+	run.End()
+	tr.Start("report").End()
+
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["crawl"].ParentID != byName["run"].ID {
+		t.Fatal("crawl must nest under run")
+	}
+	if byName["report"].ParentID != 0 {
+		t.Fatal("report must be a root span")
+	}
+	if byName["crawl"].Labels["cohort"] != "popular" {
+		t.Fatal("labels lost")
+	}
+
+	phases := tr.PhaseSummary()
+	if len(phases) != 2 || phases[0].Name != "run" || phases[1].Name != "report" {
+		t.Fatalf("root phases wrong: %+v", phases)
+	}
+	kids := phases[0].Children
+	if len(kids) != 2 || kids[0].Name != "crawl" || kids[1].Name != "detect" {
+		t.Fatalf("children wrong: %+v", kids)
+	}
+	if phases[0].Total <= 0 {
+		t.Fatal("phase duration must be positive")
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("once")
+	if d := sp.End(); d < 0 {
+		t.Fatal("duration must be non-negative")
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatal("second End must be a no-op")
+	}
+	if len(tr.Records()) != 1 {
+		t.Fatal("double End must not duplicate records")
+	}
+}
+
+func TestPhaseSummaryAggregatesRepeats(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		tr.Start("crawl").End()
+	}
+	phases := tr.PhaseSummary()
+	if len(phases) != 1 || phases[0].Count != 3 {
+		t.Fatalf("repeat phases must aggregate: %+v", phases)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("a").End()
+	tr.Start("b", "k", "v").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+func TestRenderPhases(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+	run := tr.Start("crawl.control")
+	run.StartChild("visit").End()
+	run.End()
+	text := tr.RenderPhases()
+	if !strings.Contains(text, "crawl.control") || !strings.Contains(text, "visit") {
+		t.Fatalf("phases missing from render:\n%s", text)
+	}
+	if !strings.Contains(text, "%") {
+		t.Fatalf("root share missing:\n%s", text)
+	}
+}

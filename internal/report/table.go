@@ -5,6 +5,7 @@ package report
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned text table.
@@ -37,12 +38,12 @@ func (t *Table) AddRow(cells ...any) {
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -72,11 +73,14 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// pad right-pads to w columns, counting runes (durations like "278µs"
+// contain multi-byte characters).
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Bar renders one horizontal ASCII bar scaled to maxValue over width

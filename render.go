@@ -3,10 +3,18 @@ package canvassing
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"canvassing/internal/crawler"
+	"canvassing/internal/obs"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
+
+// crawlerCacheHitRate reads the study-wide parse-cache hit rate.
+func crawlerCacheHitRate(s *Study) float64 {
+	return crawler.CacheHitRate(s.tel.Metrics)
+}
 
 // RenderAll runs every experiment the study's crawls support and renders
 // them as one text report. Experiments needing missing crawls (Table 2,
@@ -14,7 +22,13 @@ import (
 func (s *Study) RenderAll() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Canvassing the Fingerprinters — reproduction report\n")
-	fmt.Fprintf(&sb, "seed=%d scale=%.3f sites=%d\n\n", s.Options.Seed, s.Options.Scale, len(s.crawlSites))
+	fmt.Fprintf(&sb, "seed=%d scale=%.3f sites=%d\n", s.Options.Seed, s.Options.Scale, len(s.crawlSites))
+	if s.Control != nil {
+		st := s.Control.Stats().Total
+		fmt.Fprintf(&sb, "control crawl: ok %d/%d, extractions %d, script-errors %d\n",
+			st.OK, st.Visited, st.Extractions, st.ScriptErrors)
+	}
+	sb.WriteByte('\n')
 
 	sb.WriteString(s.Prevalence().Render())
 	sb.WriteByte('\n')
@@ -47,6 +61,46 @@ func (s *Study) RenderAll() string {
 	sb.WriteString(s.Table3().Render())
 	sb.WriteByte('\n')
 	sb.WriteString(s.RuleContext().Render())
+	return sb.String()
+}
+
+// PhaseTimings renders the phase-timing table for the run: one row per
+// pipeline phase (webgen, control crawl, detect, cluster, attrib,
+// re-crawls), children indented, with each root phase's share of total
+// instrumented wall time. Phases that did not run are simply absent.
+func (s *Study) PhaseTimings() string {
+	t := report.NewTable("Phase timings", "phase", "wall", "share")
+	total := s.tel.Tracer.TotalWall()
+	var walk func(ps []obs.Phase, depth int)
+	walk = func(ps []obs.Phase, depth int) {
+		for _, p := range ps {
+			share := ""
+			if depth == 0 && total > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(p.Total)/float64(total))
+			}
+			t.AddRow(strings.Repeat("  ", depth)+p.Name, p.Total.Round(time.Microsecond).String(), share)
+			walk(p.Children, depth+1)
+		}
+	}
+	walk(s.tel.Tracer.PhaseSummary(), 0)
+	t.AddRow("total", total.Round(time.Microsecond).String(), "100.0%")
+	return t.String()
+}
+
+// TelemetryReport renders the crawl summary, phase-timing table, and
+// metrics snapshot — the -metrics output of cmd/repro.
+func (s *Study) TelemetryReport() string {
+	var sb strings.Builder
+	if s.Control != nil {
+		sb.WriteString("Control crawl\n")
+		sb.WriteString(s.Control.Stats().String())
+		sb.WriteString("\n\n")
+	}
+	sb.WriteString(s.PhaseTimings())
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "parse-cache hit rate: %.1f%%\n\n", 100*crawlerCacheHitRate(s))
+	sb.WriteString("Metrics\n")
+	sb.WriteString(s.tel.Metrics.RenderText())
 	return sb.String()
 }
 

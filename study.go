@@ -16,12 +16,15 @@
 package canvassing
 
 import (
+	"fmt"
+
 	"canvassing/internal/attrib"
 	"canvassing/internal/blocklist"
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/machine"
+	"canvassing/internal/obs"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -67,7 +70,14 @@ type Study struct {
 	M1 *crawler.Result
 
 	crawlSites []*web.Site // cohort sites in crawl order
+	tel        *obs.Telemetry
 }
+
+// Telemetry exposes the study's metrics registry and span tracer.
+// Every crawl and analysis phase accumulates into it; inspect it with
+// Telemetry().Metrics.RenderText(), the PhaseTimings table, or the
+// obs HTTP mux.
+func (s *Study) Telemetry() *obs.Telemetry { return s.tel }
 
 // New generates the web and lists without crawling. Use Run for the
 // whole pipeline.
@@ -75,11 +85,15 @@ func New(opts Options) *Study {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
 	}
+	tel := obs.NewTelemetry()
+	sp := tel.Tracer.Start("webgen")
 	w := web.Generate(web.Config{Seed: opts.Seed, Scale: opts.Scale, TrancoMax: 1_000_000})
+	sp.End()
 	s := &Study{
 		Options: opts,
 		Web:     w,
 		Lists:   blocklist.NewStandardListsWithTrackers(opts.Seed, longtailTrackerCoverage()),
+		tel:     tel,
 	}
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
@@ -100,40 +114,59 @@ func Run(opts Options) *Study {
 	return s
 }
 
-// crawlConfig builds the shared crawler configuration.
+// crawlConfig builds the shared crawler configuration. Every crawl a
+// study launches (control, ground truth, re-crawls, defenses) feeds
+// the same telemetry registry.
 func (s *Study) crawlConfig() crawler.Config {
 	cfg := crawler.DefaultConfig()
 	cfg.Workers = s.Options.Workers
 	cfg.Seed = s.Options.Seed
+	cfg.Telemetry = s.tel
 	return cfg
 }
 
 // RunControl performs the control crawl over both cohorts.
 func (s *Study) RunControl() {
+	defer s.tel.Tracer.Start("crawl.control", "sites", fmt.Sprint(len(s.crawlSites))).End()
 	s.Control = crawler.Crawl(s.Web, s.crawlSites, s.crawlConfig())
 }
 
 // Analyze runs detection, clustering, ground truth and attribution over
 // the control crawl. RunControl must have been called.
 func (s *Study) Analyze() {
+	sp := s.tel.Tracer.Start("detect")
 	s.Sites = detect.AnalyzeAll(s.Control.Pages)
+	sp.End()
+	sp = s.tel.Tracer.Start("cluster")
 	s.Clustering = cluster.Build(s.Sites)
+	sp.End()
+	sp = s.tel.Tracer.Start("attrib")
+	gt := sp.StartChild("groundtruth")
 	s.GroundTruth = attrib.BuildGroundTruth(s.Web, s.Sites, s.crawlConfig())
+	gt.End()
 	s.Attribution = attrib.Attribute(s.Clustering, s.GroundTruth, s.Sites)
+	sp.End()
 }
 
 // RunAdblock performs the two ad-blocker re-crawls (Table 2).
 func (s *Study) RunAdblock() {
+	sp := s.tel.Tracer.Start("crawl.adblock")
+	abp := sp.StartChild("abp")
 	abpCfg := s.crawlConfig()
 	abpCfg.Extension = newABP(s.Lists)
 	s.ABP = crawler.Crawl(s.Web, s.crawlSites, abpCfg)
+	abp.End()
+	ubo := sp.StartChild("ubo")
 	uboCfg := s.crawlConfig()
 	uboCfg.Extension = newUBO(s.Lists)
 	s.UBO = crawler.Crawl(s.Web, s.crawlSites, uboCfg)
+	ubo.End()
+	sp.End()
 }
 
 // RunM1 performs the Apple-silicon validation crawl (§3.1).
 func (s *Study) RunM1() {
+	defer s.tel.Tracer.Start("crawl.m1").End()
 	cfg := s.crawlConfig()
 	cfg.Profile = machine.AppleM1()
 	s.M1 = crawler.Crawl(s.Web, s.crawlSites, cfg)

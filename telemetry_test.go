@@ -1,0 +1,68 @@
+package canvassing
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStudyTelemetry is the acceptance check for the observability
+// layer: a full Run yields non-zero visit-latency histogram counts,
+// spans covering every executed phase, and a parse-cache hit rate.
+func TestStudyTelemetry(t *testing.T) {
+	s := Run(Options{Seed: 7, Scale: 0.01, WithAdblock: true, WithM1: true})
+	tel := s.Telemetry()
+	if tel == nil {
+		t.Fatal("study must expose telemetry")
+	}
+
+	snap := tel.Metrics.Snapshot()
+	lat := snap.Histograms["crawl.visit.seconds"]
+	if lat.Count == 0 {
+		t.Fatal("visit latency histogram is empty after a full run")
+	}
+	// Control + 2 ground-truth-ish + ABP + UBO + M1 crawls all visit
+	// every cohort site, so latency samples far exceed one crawl.
+	if lat.Count < int64(4*len(s.crawlSites)) {
+		t.Fatalf("latency samples = %d, want at least %d (all crawls instrumented)",
+			lat.Count, 4*len(s.crawlSites))
+	}
+	hits := snap.Counters["crawl.parsecache.hits"]
+	misses := snap.Counters["crawl.parsecache.misses"]
+	if hits == 0 || hits+misses == 0 {
+		t.Fatalf("parse-cache telemetry missing: hits=%d misses=%d", hits, misses)
+	}
+
+	phases := map[string]bool{}
+	for _, r := range tel.Tracer.Records() {
+		phases[r.Name] = true
+	}
+	for _, want := range []string{
+		"webgen", "crawl.control", "detect", "cluster", "attrib",
+		"groundtruth", "crawl.adblock", "abp", "ubo", "crawl.m1",
+	} {
+		if !phases[want] {
+			t.Fatalf("phase %q has no span; got %v", want, phases)
+		}
+	}
+}
+
+func TestPhaseTimingsRender(t *testing.T) {
+	s := Run(Options{Seed: 7, Scale: 0.01})
+	text := s.PhaseTimings()
+	for _, want := range []string{"Phase timings", "webgen", "crawl.control", "detect", "total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("phase table missing %q:\n%s", want, text)
+		}
+	}
+	// Phases that did not run must not appear.
+	if strings.Contains(text, "crawl.m1") {
+		t.Fatalf("phase table lists a crawl that never ran:\n%s", text)
+	}
+
+	full := s.TelemetryReport()
+	for _, want := range []string{"Control crawl", "parse-cache hit rate", "Metrics", "crawl.visit.seconds"} {
+		if !strings.Contains(full, want) {
+			t.Fatalf("telemetry report missing %q:\n%s", want, full)
+		}
+	}
+}
