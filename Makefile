@@ -12,15 +12,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The crawler worker pool and the obs registry are the two places
-# goroutines share state; hammer them under the race detector.
+# The crawler worker pool, the obs registry, and the evidence event
+# sink are the places goroutines share state; hammer them under the
+# race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event
 
 vet:
 	$(GO) vet ./...
 
 check: build test race vet
 
+# bench runs every benchmark once and writes a dated JSON snapshot
+# (BENCH_2026-08-05.json style) next to the human-readable stream.
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) test -run XXX -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json

@@ -5,8 +5,35 @@ import (
 	"os"
 	"path/filepath"
 
+	"canvassing/internal/bundle"
 	"canvassing/internal/imaging"
 )
+
+// WriteBundle writes the study's run bundle to dir: manifest.json,
+// metrics.json, trace.jsonl, events.jsonl, telemetry.txt, and — when
+// the analyses have run — report.txt with the full experiment suite.
+// Two bundles from different runs are compared with cmd/runsdiff.
+func (s *Study) WriteBundle(dir string) error {
+	workers := s.Options.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	m := bundle.Manifest{
+		Seed:    s.Options.Seed,
+		Scale:   s.Options.Scale,
+		Workers: workers,
+		Notes:   fmt.Sprintf("canvassing study, adblock=%v m1=%v", s.Options.WithAdblock, s.Options.WithM1),
+	}
+	if err := bundle.Write(dir, m, s.tel); err != nil {
+		return err
+	}
+	if s.Clustering != nil {
+		if err := bundle.WriteReport(dir, "report.txt", s.RenderAll()); err != nil {
+			return err
+		}
+	}
+	return bundle.WriteReport(dir, "telemetry.txt", s.TelemetryReport())
+}
 
 // DumpSampleCanvases writes example canvases from the control crawl to
 // dir as PNG files — the Figure 2 / Appendix A.2 artifact: a handful of

@@ -200,6 +200,25 @@ func BenchmarkCrawlWithTelemetry(b *testing.B) {
 	b.ReportMetric(float64(cfg.Telemetry.Metrics.Counter("crawl.visits.ok").Value())/float64(b.N), "pages-ok")
 }
 
+// BenchmarkCrawlWithEvents is BenchmarkCrawlWithTelemetry plus an
+// ad-blocker extension, so the evidence event log receives
+// blocklist.match events on the hot path. A nil event sink must keep
+// BenchmarkControlCrawl allocation-free; this bench bounds the cost
+// when the sink is live.
+func BenchmarkCrawlWithEvents(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 5, Scale: 0.01, TrancoMax: 1_000_000})
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	cfg := crawler.DefaultConfig()
+	cfg.Telemetry = obs.NewTelemetry()
+	cfg.Condition = "bench"
+	cfg.Extension = newUBO(blocklist.NewStandardListsWithTrackers(5, longtailTrackerCoverage()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crawler.Crawl(w, sites, cfg)
+	}
+	b.ReportMetric(float64(cfg.Telemetry.Events.Total())/float64(b.N), "events")
+}
+
 // BenchmarkAblationParseCache compares crawling with and without the
 // shared script parse cache.
 func BenchmarkAblationParseCache(b *testing.B) {

@@ -1,6 +1,10 @@
 // Command analyze reads a crawl JSONL file (from cmd/crawl) and runs the
 // detection and clustering analyses over it: prevalence, filter yield,
 // and the Figure 1 canvas-popularity distribution.
+//
+// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
+// -outdir writes a run bundle carrying one detect.classify event per
+// extraction and the cluster membership assignments.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"canvassing/internal/bundle"
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
@@ -23,10 +28,11 @@ import (
 func main() {
 	in := flag.String("in", "", "crawl JSONL path (default stdin)")
 	topK := flag.Int("top", 25, "canvas groups to print")
-	metrics := flag.Bool("metrics", false, "print analysis phase timings and counters to stderr")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
+	cli.StartPprof(tel)
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -58,7 +64,7 @@ func main() {
 	tel.Metrics.Counter("analyze.pages").Add(int64(len(pages)))
 
 	sp = tel.Tracer.Start("detect")
-	sites := detect.AnalyzeAll(pages)
+	sites := detect.AnalyzeAllEvents(pages, tel.Events, "control")
 	sp.End()
 	t := report.NewTable("Prevalence", "cohort", "crawled-ok", "fp-sites", "prevalence", "yield")
 	for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
@@ -79,7 +85,7 @@ func main() {
 	fmt.Println(t.String())
 
 	sp = tel.Tracer.Start("cluster")
-	cl := cluster.Build(sites)
+	cl := cluster.BuildEvents(sites, tel.Events)
 	sp.End()
 	fmt.Printf("canvas groups: %d (popular-unique %d, tail-unique %d)\n\n",
 		len(cl.Groups), cl.UniqueCanvases(web.Popular), cl.UniqueCanvases(web.Tail))
@@ -91,9 +97,15 @@ func main() {
 	}
 	fmt.Println(t2.String())
 
-	if *metrics {
-		fmt.Fprintln(os.Stderr, "Phase timings")
-		fmt.Fprint(os.Stderr, tel.Tracer.RenderPhases())
-		fmt.Fprint(os.Stderr, tel.Metrics.RenderText())
+	cli.PrintMetrics(tel, os.Stderr)
+	if err := cli.WriteTrace(tel); err != nil {
+		log.Fatal(err)
+	}
+	if cli.OutDir != "" {
+		m := bundle.Manifest{Notes: "cmd/analyze"}
+		if err := bundle.Write(cli.OutDir, m, tel); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
 	}
 }

@@ -1,24 +1,48 @@
 // Command attribute runs the full pipeline for a seed and prints the
 // vendor-attribution results: Table 1 (per-vendor reach), Table 3
 // (attribution methods) and the FingerprintJS tier breakdown.
+//
+// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
+// -outdir writes a run bundle whose attrib.evidence events name the
+// mechanism (demo-hash, known-customer-hash, url-pattern, url-regexp)
+// behind every attribution in the tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 
 	"canvassing"
+	"canvassing/internal/obs"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "study seed")
 	scale := flag.Float64("scale", 0.05, "web scale")
 	workers := flag.Int("workers", 8, "crawler workers")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
-	s := canvassing.Run(canvassing.Options{
+	s := canvassing.New(canvassing.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers,
 	})
+	cli.StartPprof(s.Telemetry())
+	s.RunControl()
+	s.Analyze()
 	fmt.Println(s.Table1().Render())
 	fmt.Println(s.Table3().Render())
+	if cli.Metrics {
+		fmt.Println(s.TelemetryReport())
+	}
+	if err := cli.WriteTrace(s.Telemetry()); err != nil {
+		log.Fatal(err)
+	}
+	if cli.OutDir != "" {
+		if err := s.WriteBundle(cli.OutDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
+	}
 }

@@ -1,14 +1,20 @@
 // Command blockcheck runs the blocklist analyses: Table 4 (list coverage
 // of test canvases), Table 2 (the ad-blocker re-crawls), the serving-mode
 // evasion breakdown, and the A.6 rule-context demonstration.
+//
+// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
+// -outdir writes a run bundle whose blocklist.match events name the
+// list and rule behind every blocked script of the re-crawls.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"canvassing"
+	"canvassing/internal/obs"
 )
 
 func main() {
@@ -16,11 +22,18 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "web scale")
 	workers := flag.Int("workers", 8, "crawler workers")
 	skipAdblock := flag.Bool("skip-adblock", false, "skip the two ad-blocker re-crawls (faster)")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
-	s := canvassing.Run(canvassing.Options{
+	s := canvassing.New(canvassing.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers, WithAdblock: !*skipAdblock,
 	})
+	cli.StartPprof(s.Telemetry())
+	s.RunControl()
+	s.Analyze()
+	if !*skipAdblock {
+		s.RunAdblock()
+	}
 	fmt.Println(s.Table4().Render())
 	if !*skipAdblock {
 		t2, err := s.Table2()
@@ -31,4 +44,16 @@ func main() {
 	}
 	fmt.Println(s.Evasion().Render())
 	fmt.Println(s.RuleContext().Render())
+	if cli.Metrics {
+		fmt.Println(s.TelemetryReport())
+	}
+	if err := cli.WriteTrace(s.Telemetry()); err != nil {
+		log.Fatal(err)
+	}
+	if cli.OutDir != "" {
+		if err := s.WriteBundle(cli.OutDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
+	}
 }

@@ -2,9 +2,10 @@
 // writes one JSON object per visited page to stdout or a file — the
 // equivalent of the paper's Tracker Radar Collector output.
 //
-// Telemetry: -metrics prints the metrics snapshot to stderr, -trace
-// writes the span trace as JSON lines, and -pprof serves /metrics,
-// /spans, and net/http/pprof live during the crawl.
+// Observability: -metrics prints the metrics snapshot to stderr, -trace
+// writes the span trace as JSON lines, -pprof serves /metrics, /spans,
+// /events, and net/http/pprof live during the crawl, and -outdir
+// writes a run bundle for later comparison with cmd/runsdiff.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"canvassing/internal/adblock"
 	"canvassing/internal/blocklist"
+	"canvassing/internal/bundle"
 	"canvassing/internal/crawler"
 	"canvassing/internal/machine"
 	"canvassing/internal/obs"
@@ -31,15 +33,11 @@ func main() {
 	blocker := flag.String("adblock", "none", "none, abp, or ubo")
 	workers := flag.Int("workers", 8, "crawler worker pool width")
 	out := flag.String("out", "", "output JSONL path (default stdout)")
-	metrics := flag.Bool("metrics", false, "print the metrics snapshot and phase timings to stderr")
-	trace := flag.String("trace", "", "write the span trace as JSON lines to this path")
-	pprofAddr := flag.String("pprof", "", "serve live /metrics, /spans, and /debug/pprof on this address during the crawl")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
-	if *pprofAddr != "" {
-		serveDebug(*pprofAddr, tel)
-	}
+	cli.StartPprof(tel)
 
 	sp := tel.Tracer.Start("webgen")
 	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
@@ -69,12 +67,15 @@ func main() {
 		log.Fatalf("unknown machine %q", *machineName)
 	}
 	lists := blocklist.NewStandardLists(*seed)
+	cfg.Condition = "control"
 	switch *blocker {
 	case "none":
 	case "abp":
 		cfg.Extension = adblock.NewAdblockPlus(lists)
+		cfg.Condition = "abp"
 	case "ubo":
 		cfg.Extension = adblock.NewUBlockOrigin(lists)
+		cfg.Condition = "ubo"
 	default:
 		log.Fatalf("unknown adblock %q", *blocker)
 	}
@@ -105,33 +106,23 @@ func main() {
 	fmt.Fprintf(os.Stderr, "crawled %d pages ok (%d visited), %d extractions, machine=%s adblock=%s\n",
 		st.OK, st.Visited, st.Extractions, res.Machine, *blocker)
 
-	if *metrics {
-		fmt.Fprintln(os.Stderr, "\nPhase timings")
-		fmt.Fprint(os.Stderr, tel.Tracer.RenderPhases())
-		fmt.Fprintf(os.Stderr, "parse-cache hit rate: %.1f%%\n\n", 100*crawler.CacheHitRate(tel.Metrics))
-		fmt.Fprint(os.Stderr, tel.Metrics.RenderText())
+	if cli.Metrics {
+		fmt.Fprintf(os.Stderr, "\nparse-cache hit rate: %.1f%%\n", 100*crawler.CacheHitRate(tel.Metrics))
+		cli.PrintMetrics(tel, os.Stderr)
 	}
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
+	if err := cli.WriteTrace(tel); err != nil {
+		log.Fatal(err)
+	}
+	if cli.OutDir != "" {
+		m := bundle.Manifest{
+			Seed:    *seed,
+			Scale:   *scale,
+			Workers: *workers,
+			Notes:   fmt.Sprintf("cmd/crawl cohort=%s machine=%s adblock=%s", *cohort, *machineName, *blocker),
+		}
+		if err := bundle.Write(cli.OutDir, m, tel); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := tel.Tracer.WriteJSONL(f); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "telemetry: wrote span trace to %s\n", *trace)
+		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
 	}
-}
-
-// serveDebug starts the live telemetry endpoint and surfaces startup
-// failures (a taken port would otherwise be silent).
-func serveDebug(addr string, tel *obs.Telemetry) {
-	errc := obs.Serve(addr, tel, true)
-	go func() {
-		if err := <-errc; err != nil {
-			fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", addr, err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /debug/pprof on %s\n", addr)
 }

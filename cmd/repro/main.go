@@ -6,9 +6,11 @@
 // The paper-scale run is -scale 1 (20k popular + 20k tail sites); the
 // default 0.1 finishes in well under a minute.
 //
-// Telemetry: -metrics appends the phase-timing table and metrics
-// snapshot, -trace writes the span trace as JSON lines, and -pprof
-// serves /metrics, /spans, and net/http/pprof live during the run.
+// Observability: -metrics appends the phase-timing table and metrics
+// snapshot, -trace writes the span trace as JSON lines, -pprof serves
+// /metrics, /spans, /events, and net/http/pprof live during the run,
+// and -outdir writes a run bundle (manifest, metrics, trace, evidence
+// events, rendered reports) for later comparison with cmd/runsdiff.
 package main
 
 import (
@@ -29,9 +31,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner), 'all', or 'compare'")
 	out := flag.String("out", "", "also write the report to this file")
 	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
-	metrics := flag.Bool("metrics", false, "append the phase-timing table and metrics snapshot to the report")
-	trace := flag.String("trace", "", "write the span trace as JSON lines to this path")
-	pprofAddr := flag.String("pprof", "", "serve live /metrics, /spans, and /debug/pprof on this address during the run")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
 	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
@@ -43,11 +43,11 @@ func main() {
 	case "inner", "ex2":
 		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers})
 		text := s.InnerPages().Render()
-		if *metrics {
+		if cli.Metrics {
 			text += "\n" + s.TelemetryReport()
 		}
 		emit(text, *out)
-		finishTelemetry(s, *trace)
+		finishTelemetry(s, cli)
 		return
 	}
 
@@ -60,15 +60,7 @@ func main() {
 		WithAdblock: true,
 		WithM1:      true,
 	})
-	if *pprofAddr != "" {
-		errc := obs.Serve(*pprofAddr, s.Telemetry(), true)
-		go func() {
-			if err := <-errc; err != nil {
-				fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", *pprofAddr, err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /debug/pprof on %s\n", *pprofAddr)
-	}
+	cli.StartPprof(s.Telemetry())
 	s.RunControl()
 	s.Analyze()
 	s.RunAdblock()
@@ -116,11 +108,11 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 
-	if *metrics {
+	if cli.Metrics {
 		text += "\n" + s.TelemetryReport()
 	}
 	emit(text, *out)
-	finishTelemetry(s, *trace)
+	finishTelemetry(s, cli)
 
 	if *dumpDir != "" {
 		files, err := s.DumpSampleCanvases(*dumpDir, 3)
@@ -131,20 +123,18 @@ func main() {
 	}
 }
 
-// finishTelemetry writes the span trace export if requested.
-func finishTelemetry(s *canvassing.Study, trace string) {
-	if trace == "" {
-		return
-	}
-	f, err := os.Create(trace)
-	if err != nil {
+// finishTelemetry writes the span-trace export and the run bundle if
+// requested.
+func finishTelemetry(s *canvassing.Study, cli *obs.CLI) {
+	if err := cli.WriteTrace(s.Telemetry()); err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := s.Telemetry().Tracer.WriteJSONL(f); err != nil {
-		log.Fatal(err)
+	if cli.OutDir != "" {
+		if err := s.WriteBundle(cli.OutDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
 	}
-	fmt.Fprintf(os.Stderr, "telemetry: wrote span trace to %s\n", trace)
 }
 
 // emit prints the report and optionally writes it to a file.

@@ -1,0 +1,78 @@
+// Command runsdiff compares two run bundles (directories written with
+// -outdir or Study.WriteBundle) and explains what changed between the
+// runs: per-site fingerprinting verdict flips, attribution changes, and
+// metric movements.
+//
+// The conditions select which crawl's decisions to compare inside each
+// bundle. To reproduce Table 2's adblock delta from bundles, diff the
+// control condition of one run against the abp (or ubo) condition of a
+// same-seed run:
+//
+//	runsdiff -cond-a control -cond-b abp ./run-control ./run-adblock
+//
+// The flip list then sums exactly to the table's prevalence delta:
+// lost - gained = fp-sites(A) - fp-sites(B).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"canvassing/internal/bundle"
+)
+
+func main() {
+	condA := flag.String("cond-a", "control", "crawl condition to read from the first bundle")
+	condB := flag.String("cond-b", "control", "crawl condition to read from the second bundle")
+	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of text")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: runsdiff [-cond-a C] [-cond-b C] <bundle-dir-a> <bundle-dir-b>")
+		os.Exit(2)
+	}
+	a, err := bundle.Load(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bundle.Load(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if a.Manifest.Seed != b.Manifest.Seed {
+		fmt.Fprintf(os.Stderr, "note: seeds differ (%d vs %d); site-level flips compare different webs\n",
+			a.Manifest.Seed, b.Manifest.Seed)
+	}
+	if a.Manifest.Scale != b.Manifest.Scale {
+		fmt.Fprintf(os.Stderr, "note: scales differ (%g vs %g)\n", a.Manifest.Scale, b.Manifest.Scale)
+	}
+	d := bundle.Compute(a, b, *condA, *condB)
+	if *jsonOut {
+		if err := writeJSON(d); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("A: %s  seed=%d scale=%g events=%d %v\n",
+		flag.Arg(0), a.Manifest.Seed, a.Manifest.Scale, a.Manifest.Events, a.Manifest.Conditions)
+	fmt.Printf("B: %s  seed=%d scale=%g events=%d %v\n",
+		flag.Arg(1), b.Manifest.Seed, b.Manifest.Scale, b.Manifest.Events, b.Manifest.Conditions)
+	fmt.Print(d.Render())
+}
+
+func writeJSON(d bundle.Diff) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		CondA         string                `json:"cond_a"`
+		CondB         string                `json:"cond_b"`
+		FPSitesA      int                   `json:"fp_sites_a"`
+		FPSitesB      int                   `json:"fp_sites_b"`
+		Flips         []bundle.VerdictFlip  `json:"flips"`
+		AttribChanges []bundle.AttribChange `json:"attrib_changes"`
+		CounterDeltas []bundle.MetricDelta  `json:"counter_deltas"`
+		HistDeltas    []bundle.HistDelta    `json:"hist_deltas"`
+	}{d.CondA, d.CondB, d.FPSitesA, d.FPSitesB, d.Flips, d.AttribChanges, d.CounterDeltas, d.HistDeltas})
+}

@@ -7,7 +7,6 @@ import (
 
 	"canvassing/internal/adblock"
 	"canvassing/internal/blocklist"
-	"canvassing/internal/canvas"
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
@@ -298,16 +297,25 @@ func (s *Study) Table2() (Table2Result, error) {
 	if s.ABP == nil || s.UBO == nil {
 		return Table2Result{}, fmt.Errorf("canvassing: Table2 requires RunAdblock (set Options.WithAdblock)")
 	}
+	if s.Sites == nil {
+		s.Sites = detect.AnalyzeAllEvents(s.Control.Pages, s.events(), CondControl)
+	}
+	if s.ABPSites == nil {
+		s.ABPSites = detect.AnalyzeAllEvents(s.ABP.Pages, s.events(), CondABP)
+	}
+	if s.UBOSites == nil {
+		s.UBOSites = detect.AnalyzeAllEvents(s.UBO.Pages, s.events(), CondUBO)
+	}
 	var res Table2Result
 	for _, cond := range []struct {
-		name string
-		r    *crawler.Result
+		name  string
+		sites []detect.SiteCanvases
 	}{
-		{"Control", s.Control},
-		{"Adblock Plus", s.ABP},
-		{"uBlock Origin", s.UBO},
+		{"Control", s.Sites},
+		{"Adblock Plus", s.ABPSites},
+		{"uBlock Origin", s.UBOSites},
 	} {
-		sites := detect.AnalyzeAll(cond.r.Pages)
+		sites := cond.sites
 		row := Table2Row{Condition: cond.name}
 		for i := range sites {
 			st := &sites[i]
@@ -515,8 +523,14 @@ type RandomizationResult struct {
 
 // Randomization computes E8: the prevalence of Algorithm-1 checks, and
 // re-crawls a sample of fingerprinting sites under the two defense
-// disciplines to show which one the check catches.
+// disciplines to show which one the check catches. Results are cached
+// per sample size: the defense re-crawls are expensive and several
+// reports request the same sample, and caching also keeps the evidence
+// log free of duplicate verdict events.
 func (s *Study) Randomization(sampleSize int) RandomizationResult {
+	if r, ok := s.randCache[sampleSize]; ok {
+		return r
+	}
 	var r RandomizationResult
 	r.CheckingPop, r.FPPop = cluster.InconsistencyCheckStats(s.Sites, web.Popular)
 	r.CheckingTail, r.FPTail = cluster.InconsistencyCheckStats(s.Sites, web.Tail)
@@ -548,31 +562,42 @@ func (s *Study) Randomization(sampleSize int) RandomizationResult {
 	}
 	r.SampleSites = len(sample)
 	if len(sample) == 0 {
+		s.cacheRandomization(sampleSize, r)
 		return r
 	}
-	detectBroken := func(hook canvas.ExtractHook) int {
-		cfg := s.crawlConfig()
-		cfg.ExtractHook = hook
+	// detectBroken re-crawls the sample under a defense and runs the
+	// Algorithm-1 inconsistency check on each page, recording one
+	// randomize.verdict event per site under the defense's condition
+	// label.
+	detectBroken := func(d *randomize.Defense) int {
+		condition := "defense-" + d.Mode().String()
+		cfg := s.crawlConfig(condition)
+		cfg.ExtractHook = d.Hook()
 		res := crawler.Crawl(s.Web, sample, cfg)
 		broken := 0
 		for _, p := range res.SuccessfulPages() {
-			counts := map[string]int{}
-			hasPair := false
+			urls := make([]string, 0, len(p.Extractions))
 			for _, e := range p.Extractions {
-				counts[e.DataURL]++
-				if counts[e.DataURL] >= 2 {
-					hasPair = true
-				}
+				urls = append(urls, e.DataURL)
 			}
-			if !hasPair && len(p.Extractions) >= 2 {
+			if randomize.CheckInconsistency(s.events(), condition, p.Domain, d.Mode().String(), urls) {
 				broken++
 			}
 		}
 		return broken
 	}
-	r.PerRenderDetected = detectBroken(randomize.NewDefense(randomize.PerRender, s.Options.Seed).Hook())
-	r.PerSessionDetected = detectBroken(randomize.NewDefense(randomize.PerSession, s.Options.Seed).Hook())
+	r.PerRenderDetected = detectBroken(randomize.NewDefense(randomize.PerRender, s.Options.Seed))
+	r.PerSessionDetected = detectBroken(randomize.NewDefense(randomize.PerSession, s.Options.Seed))
+	s.cacheRandomization(sampleSize, r)
 	return r
+}
+
+// cacheRandomization memoizes an E8 result by sample size.
+func (s *Study) cacheRandomization(sampleSize int, r RandomizationResult) {
+	if s.randCache == nil {
+		s.randCache = map[int]RandomizationResult{}
+	}
+	s.randCache[sampleSize] = r
 }
 
 // Render formats E8.
@@ -603,8 +628,15 @@ func (s *Study) CrossMachine() (CrossMachineResult, error) {
 		return CrossMachineResult{}, fmt.Errorf("canvassing: CrossMachine requires RunM1 (set Options.WithM1)")
 	}
 	var r CrossMachineResult
-	intelSites := detect.AnalyzeAll(s.Control.Pages)
-	m1Sites := detect.AnalyzeAll(s.M1.Pages)
+	intelSites := s.Sites
+	if intelSites == nil {
+		intelSites = detect.AnalyzeAllEvents(s.Control.Pages, s.events(), CondControl)
+		s.Sites = intelSites
+	}
+	if s.M1Sites == nil {
+		s.M1Sites = detect.AnalyzeAllEvents(s.M1.Pages, s.events(), CondM1)
+	}
+	m1Sites := s.M1Sites
 	// Assign group labels per machine in first-seen order; the event
 	// label sequences must match exactly for grouping to be invariant.
 	label := func(sites []detect.SiteCanvases) []int {

@@ -46,10 +46,10 @@ func (s *Study) InnerPages() InnerPagesResult {
 			}
 		}
 	}
-	cfg := s.crawlConfig()
+	cfg := s.crawlConfig(CondInner)
 	cfg.VisitInnerPages = true
 	res := crawler.Crawl(s.Web, s.crawlSites, cfg)
-	for _, sc := range detect.AnalyzeAll(res.Pages) {
+	for _, sc := range detect.AnalyzeAllEvents(res.Pages, s.events(), CondInner) {
 		if !sc.OK || !sc.HasFingerprinting() {
 			continue
 		}

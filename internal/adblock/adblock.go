@@ -32,6 +32,12 @@ func NewAdblockPlus(lists *blocklist.StandardLists) *AdblockPlus {
 // Name implements crawler.Extension.
 func (a *AdblockPlus) Name() string { return "Adblock Plus" }
 
+// ExplainBlock implements crawler.BlockExplainer: it names the list
+// and the matching rule behind a BlockScript verdict.
+func (a *AdblockPlus) ExplainBlock(req blocklist.Request) (list, rule string) {
+	return explain(a.lists.EasyList, req)
+}
+
 // BlockScript implements crawler.Extension.
 func (a *AdblockPlus) BlockScript(req blocklist.Request) bool {
 	if !req.ThirdParty {
@@ -64,6 +70,20 @@ func (u *UBlockOrigin) BlockScript(req blocklist.Request) bool {
 		return false // first-party exception
 	}
 	return u.lists.EasyList.ShouldBlock(req)
+}
+
+// ExplainBlock implements crawler.BlockExplainer.
+func (u *UBlockOrigin) ExplainBlock(req blocklist.Request) (list, rule string) {
+	return explain(u.lists.EasyList, req)
+}
+
+// explain names the block rule matching req on l (empty when none —
+// callers only ask after a positive BlockScript, so that is rare).
+func explain(l *blocklist.List, req blocklist.Request) (list, rule string) {
+	if r := l.Match(req); r != nil {
+		return l.Name, r.Raw
+	}
+	return l.Name, ""
 }
 
 // hostOf extracts the hostname from a URL string without failing.

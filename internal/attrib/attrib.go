@@ -15,6 +15,7 @@
 package attrib
 
 import (
+	"fmt"
 	"regexp"
 	"sort"
 
@@ -22,6 +23,7 @@ import (
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/netsim"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/services"
 	"canvassing/internal/web"
 )
@@ -42,6 +44,17 @@ const (
 // path is a single letters-and-hyphens segment.
 var impervaRe = regexp.MustCompile(`^https?://(?:www\.)?[^/]+/([A-Za-z\-]+)$`)
 
+// Attribution mechanisms as named in evidence events: which concrete
+// linkage fired for a group or site, one level finer than Method (a
+// vendor identified via its demo can still have individual groups
+// linked by hash or by URL pattern).
+const (
+	MechDemoHash     = "demo-hash"
+	MechCustomerHash = "known-customer-hash"
+	MechURLPattern   = "url-pattern"
+	MechURLRegexp    = "url-regexp"
+)
+
 // GroundTruth holds per-vendor canvas hashes and how they were obtained.
 type GroundTruth struct {
 	// Hashes maps vendor slug → set of test-canvas hashes.
@@ -54,13 +67,22 @@ type GroundTruth struct {
 // demo, locates a known customer in the main crawl (confirmed by script
 // pattern) to learn each vendor's test canvases.
 func BuildGroundTruth(w *web.Web, mainCrawl []detect.SiteCanvases, cfg crawler.Config) *GroundTruth {
+	return BuildGroundTruthEvents(w, mainCrawl, cfg, nil)
+}
+
+// BuildGroundTruthEvents is BuildGroundTruth with decision provenance:
+// the demo-crawl detection verdicts and one evidence event per vendor
+// (which method produced its hashes, and how many) are recorded to
+// sink (nil disables).
+func BuildGroundTruthEvents(w *web.Web, mainCrawl []detect.SiteCanvases, cfg crawler.Config, sink *event.Sink) *GroundTruth {
 	gt := &GroundTruth{
 		Hashes:  map[string]map[string]bool{},
 		Methods: map[string]Method{},
 	}
 	// Demo crawls.
+	cfg.Condition = "demo"
 	demoRes := crawler.Crawl(w, w.Demos, cfg)
-	demoSites := detect.AnalyzeAll(demoRes.Pages)
+	demoSites := detect.AnalyzeAllEvents(demoRes.Pages, sink, "demo")
 	demoByDomain := map[string]*detect.SiteCanvases{}
 	for i := range demoSites {
 		demoByDomain[demoSites[i].Domain] = &demoSites[i]
@@ -106,6 +128,17 @@ func BuildGroundTruth(w *web.Web, mainCrawl []detect.SiteCanvases, cfg crawler.C
 		}
 		gt.Methods[v.Slug] = MethodNone
 	}
+	if sink != nil {
+		for _, v := range services.Registry() {
+			sink.Record(event.Event{
+				Kind:    event.AttribEvidence,
+				Subject: v.Slug,
+				Verdict: string(gt.Methods[v.Slug]),
+				Evidence: "ground-truth",
+				Detail:  fmt.Sprintf("%d hashes", len(gt.Hashes[v.Slug])),
+			})
+		}
+	}
 	return gt
 }
 
@@ -143,6 +176,13 @@ type Result struct {
 // Attribute runs grouping-based attribution over a clustering plus the
 // Imperva URL-regexp pass over the analyzed sites.
 func Attribute(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanvases) *Result {
+	return AttributeEvents(cl, gt, sites, nil)
+}
+
+// AttributeEvents is Attribute with decision provenance: one evidence
+// event per attributed canvas group (which mechanism linked it) and
+// one per site-vendor attribution, recorded to sink (nil disables).
+func AttributeEvents(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanvases, sink *event.Sink) *Result {
 	res := &Result{
 		SiteVendors:     map[string][]string{},
 		AttributedSites: map[web.Cohort]int{},
@@ -151,9 +191,20 @@ func Attribute(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanva
 	}
 	// Group → vendor via ground-truth hashes, then URL patterns.
 	groupVendor := map[string]string{}
+	groupMech := map[string]string{}
 	for _, g := range cl.Groups {
-		if slug := vendorForGroup(g, gt); slug != "" {
+		if slug, mech := vendorForGroup(g, gt); slug != "" {
 			groupVendor[g.Hash] = slug
+			groupMech[g.Hash] = mech
+			if sink != nil {
+				sink.Record(event.Event{
+					Kind:     event.AttribEvidence,
+					Subject:  g.Hash,
+					Verdict:  slug,
+					Evidence: mech,
+					Detail:   fmt.Sprintf("%d sites", g.TotalSites()),
+				})
+			}
 		}
 	}
 	// Per-site vendor sets.
@@ -171,16 +222,37 @@ func Attribute(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanva
 		res.FPSites[s.Cohort]++
 		cohortOf[s.Domain] = s.Cohort
 		set := map[string]bool{}
+		mechOf := map[string]string{}
 		for _, c := range fp {
 			if slug, ok := groupVendor[c.Hash]; ok {
 				set[slug] = true
+				if mechOf[slug] == "" {
+					mechOf[slug] = groupMech[c.Hash]
+				}
 			} else if impervaRe.MatchString(c.ScriptURL) {
 				set["imperva"] = true
+				mechOf["imperva"] = MechURLRegexp
 			}
 		}
 		if len(set) > 0 {
 			siteVendorSet[s.Domain] = set
 			res.AttributedSites[s.Cohort]++
+			if sink != nil {
+				slugs := make([]string, 0, len(set))
+				for slug := range set {
+					slugs = append(slugs, slug)
+				}
+				sort.Strings(slugs)
+				for _, slug := range slugs {
+					sink.Record(event.Event{
+						Kind:     event.AttribEvidence,
+						Site:     s.Domain,
+						Verdict:  slug,
+						Evidence: mechOf[slug],
+						Detail:   s.Cohort.String(),
+					})
+				}
+			}
 		}
 	}
 	// Rows in Table 1 order.
@@ -212,11 +284,17 @@ func Attribute(cl *cluster.Clustering, gt *GroundTruth, sites []detect.SiteCanva
 }
 
 // vendorForGroup resolves one canvas group to a vendor slug ("" if
-// unidentified): ground-truth hash match first, then script-URL pattern.
-func vendorForGroup(g *cluster.Group, gt *GroundTruth) string {
+// unidentified) plus the mechanism that linked it: ground-truth hash
+// match first (demo-hash or known-customer-hash depending on how the
+// vendor's hashes were obtained), then script-URL pattern.
+func vendorForGroup(g *cluster.Group, gt *GroundTruth) (slug, mechanism string) {
 	for _, v := range services.Registry() {
 		if gt.Hashes[v.Slug][g.Hash] {
-			return v.Slug
+			mech := MechDemoHash
+			if gt.Methods[v.Slug] == MethodCustomer {
+				mech = MechCustomerHash
+			}
+			return v.Slug, mech
 		}
 	}
 	for _, v := range services.Registry() {
@@ -225,11 +303,11 @@ func vendorForGroup(g *cluster.Group, gt *GroundTruth) string {
 		}
 		for _, u := range g.ScriptURLs {
 			if v.MatchURL(u) {
-				return v.Slug
+				return v.Slug, MechURLPattern
 			}
 		}
 	}
-	return ""
+	return "", ""
 }
 
 // attributeFPJSTiers splits FingerprintJS-attributed sites into

@@ -230,15 +230,23 @@ func TestVendorForGroupPrecedence(t *testing.T) {
 	}
 	g := &cluster.Group{Hash: "h-akam", ScriptURLs: []string{"https://privacy-cs.mail.ru/top/counter.js"}}
 	// Hash ground truth must beat the URL pattern.
-	if got := vendorForGroup(g, gt); got != "akamai" {
+	got, mech := vendorForGroup(g, gt)
+	if got != "akamai" {
 		t.Fatalf("precedence: %s", got)
 	}
+	if mech != MechDemoHash {
+		t.Fatalf("hash-match mechanism: %s", mech)
+	}
 	g2 := &cluster.Group{Hash: "h-unknown", ScriptURLs: []string{"https://privacy-cs.mail.ru/top/counter.js"}}
-	if got := vendorForGroup(g2, gt); got != "mailru" {
+	got, mech = vendorForGroup(g2, gt)
+	if got != "mailru" {
 		t.Fatalf("pattern fallback: %s", got)
 	}
+	if mech != MechURLPattern {
+		t.Fatalf("pattern mechanism: %s", mech)
+	}
 	g3 := &cluster.Group{Hash: "h-none", ScriptURLs: []string{"https://nowhere.example/x.js"}}
-	if got := vendorForGroup(g3, gt); got != "" {
+	if got, _ = vendorForGroup(g3, gt); got != "" {
 		t.Fatalf("unidentified: %s", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"canvassing/internal/detect"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/web"
 )
 
@@ -55,6 +56,34 @@ type siteMeta struct {
 
 // Build groups the fingerprintable canvases of the analyzed sites.
 func Build(sites []detect.SiteCanvases) *Clustering {
+	return BuildEvents(sites, nil)
+}
+
+// BuildEvents is Build with decision provenance: every (group, site)
+// membership assignment is recorded to sink (nil disables), in group
+// order, so a bundle diff can pinpoint which sites moved between
+// canvas groups across runs.
+func BuildEvents(sites []detect.SiteCanvases, sink *event.Sink) *Clustering {
+	cl := build(sites)
+	if sink != nil {
+		for _, g := range cl.Groups {
+			for _, cohort := range []web.Cohort{web.Popular, web.Tail, web.Demo} {
+				for _, domain := range g.Sites[cohort] {
+					sink.Record(event.Event{
+						Kind:    event.ClusterAssign,
+						Site:    domain,
+						Subject: g.Hash,
+						Verdict: "member",
+						Detail:  cohort.String(),
+					})
+				}
+			}
+		}
+	}
+	return cl
+}
+
+func build(sites []detect.SiteCanvases) *Clustering {
 	cl := &Clustering{
 		byHash:   map[string]*Group{},
 		bySite:   map[string][]*Group{},

@@ -19,6 +19,7 @@ import (
 	"canvassing/internal/machine"
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -96,6 +97,14 @@ type Extension interface {
 	BlockScript(req blocklist.Request) bool
 }
 
+// BlockExplainer is an optional Extension capability: after BlockScript
+// returns true, ExplainBlock names the filter list and the matching
+// rule so block decisions carry evidence in the event log. Extensions
+// without it still work; their block events just lack the rule.
+type BlockExplainer interface {
+	ExplainBlock(req blocklist.Request) (list, rule string)
+}
+
 // Config controls a crawl.
 type Config struct {
 	// Workers sets the worker-pool width; <=0 selects 8.
@@ -134,6 +143,10 @@ type Config struct {
 	// parse-cache effectiveness, and jsvm step usage. Nil runs the
 	// bare, uninstrumented path.
 	Telemetry *obs.Telemetry
+	// Condition labels this crawl in the evidence event log ("control",
+	// "abp", "demo", ...) so bundle diffs can align per-condition
+	// decisions across runs. Empty is fine for unlabeled crawls.
+	Condition string
 }
 
 // DefaultConfig returns the paper's crawl configuration: consent
@@ -249,9 +262,11 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 		res.Extension = cfg.Extension.Name()
 	}
 	var mx *crawlMetrics
+	var evs *event.Sink
 	if cfg.Telemetry != nil {
 		mx = newCrawlMetrics(cfg.Telemetry.Metrics)
 		mx.workers.Set(int64(cfg.Workers))
+		evs = cfg.Telemetry.Events
 	}
 	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
 	var wg sync.WaitGroup
@@ -268,7 +283,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 					t0 = time.Now()
 					mx.queueWait.ObserveDuration(t0.Sub(j.at))
 				}
-				res.Pages[j.i] = visit(w, sites[j.i], cfg, cache, mx)
+				res.Pages[j.i] = visit(w, sites[j.i], cfg, cache, mx, evs)
 				if mx != nil {
 					d := time.Since(t0)
 					busy += d
@@ -295,7 +310,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 }
 
 // visit performs one page load.
-func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics) *PageResult {
+func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics, evs *event.Sink) *PageResult {
 	pr := &PageResult{
 		Domain:        site.Domain,
 		Rank:          site.Rank,
@@ -369,6 +384,21 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 			pr.BlockedScripts = append(pr.BlockedScripts, req.URL)
 			if mx != nil {
 				mx.scriptsBlocked.Inc()
+			}
+			if evs != nil {
+				list, rule := "", ""
+				if ex, ok := cfg.Extension.(BlockExplainer); ok {
+					list, rule = ex.ExplainBlock(req)
+				}
+				evs.Record(event.Event{
+					Kind:     event.BlocklistMatch,
+					Crawl:    cfg.Condition,
+					Site:     site.Domain,
+					Subject:  req.URL,
+					Verdict:  "blocked",
+					Evidence: rule,
+					Detail:   list,
+				})
 			}
 			return
 		}

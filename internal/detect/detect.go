@@ -14,9 +14,11 @@ package detect
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 
 	"canvassing/internal/crawler"
 	"canvassing/internal/imaging"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/web"
 )
 
@@ -103,6 +105,13 @@ func (s *SiteCanvases) FullyExcluded() bool {
 
 // AnalyzePage classifies every extraction of one crawled page.
 func AnalyzePage(p *crawler.PageResult) SiteCanvases {
+	return AnalyzePageEvents(p, nil, "")
+}
+
+// AnalyzePageEvents is AnalyzePage with decision provenance: every
+// classification verdict is recorded to sink (nil disables) under the
+// given crawl condition label, naming the failing heuristic.
+func AnalyzePageEvents(p *crawler.PageResult, sink *event.Sink, crawl string) SiteCanvases {
 	out := SiteCanvases{Domain: p.Domain, Rank: p.Rank, Cohort: p.Cohort, OK: p.OK}
 	animScripts := map[string]bool{}
 	for url, methods := range p.ScriptMethods {
@@ -120,15 +129,36 @@ func AnalyzePage(p *crawler.PageResult) SiteCanvases {
 		}
 		classify(&ci, animScripts[e.ScriptURL])
 		out.All = append(out.All, ci)
+		if sink != nil {
+			verdict, evidence := "fingerprintable", ""
+			if !ci.Fingerprintable {
+				verdict, evidence = "excluded", string(ci.Exclude)
+			}
+			sink.Record(event.Event{
+				Kind:     event.DetectClassify,
+				Crawl:    crawl,
+				Site:     p.Domain,
+				Subject:  ci.Hash,
+				Verdict:  verdict,
+				Evidence: evidence,
+				Detail:   fmt.Sprintf("script=%s %dx%d %s", ci.ScriptURL, ci.W, ci.H, ci.Format),
+			})
+		}
 	}
 	return out
 }
 
 // AnalyzeAll classifies every page of a crawl.
 func AnalyzeAll(pages []*crawler.PageResult) []SiteCanvases {
+	return AnalyzeAllEvents(pages, nil, "")
+}
+
+// AnalyzeAllEvents is AnalyzeAll with decision provenance (see
+// AnalyzePageEvents).
+func AnalyzeAllEvents(pages []*crawler.PageResult, sink *event.Sink, crawl string) []SiteCanvases {
 	out := make([]SiteCanvases, 0, len(pages))
 	for _, p := range pages {
-		out = append(out, AnalyzePage(p))
+		out = append(out, AnalyzePageEvents(p, sink, crawl))
 	}
 	return out
 }

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI is the shared observability flag set every binary wires the same
+// way: -metrics (print the snapshot / phase table), -trace (span JSONL
+// export), -pprof (live debug endpoint), and -outdir (run-bundle
+// directory). PR 1 duplicated this wiring per command; BindCLI is the
+// single place it lives now.
+type CLI struct {
+	// Metrics requests the rendered metrics/phase report after the run.
+	Metrics bool
+	// Trace is the span-trace JSONL output path ("" = off).
+	Trace string
+	// Pprof is the live debug-endpoint address ("" = off).
+	Pprof string
+	// OutDir is the run-bundle output directory ("" = off).
+	OutDir string
+}
+
+// BindCLI registers the shared observability flags on fs (use
+// flag.CommandLine in main) and returns the destination struct.
+func BindCLI(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.BoolVar(&c.Metrics, "metrics", false, "print the metrics snapshot and phase timings after the run")
+	fs.StringVar(&c.Trace, "trace", "", "write the span trace as JSON lines to this path")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve live /metrics, /spans, /events, and /debug/pprof on this address during the run")
+	fs.StringVar(&c.OutDir, "outdir", "", "write a run bundle (manifest, metrics, trace, events, reports) to this directory")
+	return c
+}
+
+// StartPprof starts the live debug endpoint when -pprof was given,
+// logging startup and failures to stderr.
+func (c *CLI) StartPprof(tel *Telemetry) {
+	if c.Pprof == "" {
+		return
+	}
+	errc := Serve(c.Pprof, tel, true)
+	go func() {
+		if err := <-errc; err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", c.Pprof, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /events, /debug/pprof on %s\n", c.Pprof)
+}
+
+// WriteTrace writes the span-trace export when -trace was given.
+func (c *CLI) WriteTrace(tel *Telemetry) error {
+	if c.Trace == "" {
+		return nil
+	}
+	f, err := os.Create(c.Trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tel.Tracer.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: wrote span trace to %s\n", c.Trace)
+	return nil
+}
+
+// PrintMetrics renders the phase-timing listing and metrics snapshot
+// to w when -metrics was given.
+func (c *CLI) PrintMetrics(tel *Telemetry, w io.Writer) {
+	if !c.Metrics {
+		return
+	}
+	fmt.Fprintln(w, "\nPhase timings")
+	fmt.Fprint(w, tel.Tracer.RenderPhases())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, tel.Metrics.RenderText())
+}

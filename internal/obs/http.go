@@ -24,9 +24,10 @@ func (t *Tracer) Handler() http.Handler {
 
 // NewMux builds the debug mux for a telemetry bundle: /metrics
 // (registry JSON), /metrics.txt (terminal rendering), /spans (JSONL),
-// and, when withPprof is set, the standard net/http/pprof endpoints
-// under /debug/pprof/. The pprof handlers are registered explicitly so
-// importing this package never pollutes http.DefaultServeMux.
+// /events (decision-event JSONL), and, when withPprof is set, the
+// standard net/http/pprof endpoints under /debug/pprof/. The pprof
+// handlers are registered explicitly so importing this package never
+// pollutes http.DefaultServeMux.
 func NewMux(tel *Telemetry, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", tel.Metrics.Handler())
@@ -35,6 +36,10 @@ func NewMux(tel *Telemetry, withPprof bool) *http.ServeMux {
 		_, _ = w.Write([]byte(tel.Metrics.RenderText()))
 	})
 	mux.Handle("/spans", tel.Tracer.Handler())
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tel.Events.WriteJSONL(w)
+	})
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

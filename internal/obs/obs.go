@@ -17,16 +17,20 @@
 // tracer themselves never need nil checks once constructed.
 package obs
 
-// Telemetry bundles the two halves of the observability layer: the
-// metrics registry (counters, gauges, histograms) and the span tracer
-// (hierarchical phases). One Telemetry is shared by a whole pipeline
+import "canvassing/internal/obs/event"
+
+// Telemetry bundles the three halves of the observability layer: the
+// metrics registry (counters, gauges, histograms), the span tracer
+// (hierarchical phases), and the decision-event sink (per-canvas /
+// per-script provenance). One Telemetry is shared by a whole pipeline
 // run so every crawl and analysis phase accumulates into it.
 type Telemetry struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Events  *event.Sink
 }
 
 // NewTelemetry returns an empty telemetry bundle.
 func NewTelemetry() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer()}
+	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer(), Events: event.NewSink(0)}
 }

@@ -43,12 +43,13 @@ type Tracer struct {
 	mu     sync.Mutex
 	nextID int64
 	done   []SpanRecord
+	active map[int64]*Span
 	now    func() time.Time // test seam
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
-	return &Tracer{now: time.Now}
+	return &Tracer{now: time.Now, active: map[int64]*Span{}}
 }
 
 // Start opens a root span (a pipeline phase). Labels are alternating
@@ -68,6 +69,7 @@ func (t *Tracer) start(parent int64, name string, labels []string) *Span {
 	t.nextID++
 	sp.id = t.nextID
 	sp.start = t.now()
+	t.active[sp.id] = sp
 	t.mu.Unlock()
 	return sp
 }
@@ -113,8 +115,32 @@ func (sp *Span) End() time.Duration {
 		Start:    sp.start,
 		Duration: d,
 	})
+	delete(t.active, sp.id)
 	t.mu.Unlock()
 	return d
+}
+
+// Active returns the spans started but not yet ended, in start order,
+// with Duration set to the time elapsed so far. A span still listed
+// here after its phase finished is a leak: it would otherwise silently
+// vanish from Records and the JSONL export.
+func (t *Tracer) Active() []SpanRecord {
+	t.mu.Lock()
+	now := t.now()
+	out := make([]SpanRecord, 0, len(t.active))
+	for _, sp := range t.active {
+		out = append(out, SpanRecord{
+			ID:       sp.id,
+			ParentID: sp.parent,
+			Name:     sp.name,
+			Labels:   sp.labels,
+			Start:    sp.start,
+			Duration: now.Sub(sp.start),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Records returns a copy of all finished spans in end order.

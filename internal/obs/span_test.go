@@ -110,6 +110,39 @@ func TestWriteJSONL(t *testing.T) {
 	}
 }
 
+func TestActiveTracksUnendedSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+	leaked := tr.Start("leaky", "where", "crawl")
+	done := tr.Start("done")
+	done.End()
+
+	act := tr.Active()
+	if len(act) != 1 {
+		t.Fatalf("active = %d spans, want 1: %+v", len(act), act)
+	}
+	if act[0].Name != "leaky" || act[0].Labels["where"] != "crawl" {
+		t.Fatalf("active record wrong: %+v", act[0])
+	}
+	if act[0].Duration <= 0 {
+		t.Fatal("active span must report elapsed time so far")
+	}
+	// A leaked span must not be in the finished records it would
+	// otherwise silently vanish from.
+	for _, r := range tr.Records() {
+		if r.Name == "leaky" {
+			t.Fatal("un-ended span leaked into Records")
+		}
+	}
+	leaked.End()
+	if len(tr.Active()) != 0 {
+		t.Fatal("ended span still listed active")
+	}
+	if len(tr.Records()) != 2 {
+		t.Fatalf("records = %d, want 2", len(tr.Records()))
+	}
+}
+
 func TestRenderPhases(t *testing.T) {
 	tr := NewTracer()
 	tr.now = fakeClock(time.Millisecond)

@@ -17,10 +17,12 @@
 package randomize
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"canvassing/internal/canvas"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/raster"
 	"canvassing/internal/stats"
 )
@@ -112,4 +114,40 @@ func addNoise(img *raster.Image, seed uint64, amplitude int) *raster.Image {
 // randomization defense is detectable.
 func DetectRandomization(render func() string) bool {
 	return render() != render()
+}
+
+// CheckInconsistency applies Algorithm 1 to a site's extraction stream:
+// it reports true when the site extracted at least one pair of canvases
+// but no two extractions agreed — the signature of a per-render
+// randomization defense. Each verdict is recorded to sink (nil
+// disables) under the crawl condition label, with the defense mode as
+// evidence so a run diff can separate per-render from per-session
+// outcomes.
+func CheckInconsistency(sink *event.Sink, crawl, site, mode string, dataURLs []string) bool {
+	counts := map[string]int{}
+	hasPair := false
+	for _, u := range dataURLs {
+		counts[u]++
+		if counts[u] >= 2 {
+			hasPair = true
+		}
+	}
+	detected := !hasPair && len(dataURLs) >= 2
+	if sink != nil {
+		verdict := "consistent"
+		if detected {
+			verdict = "randomized"
+		} else if len(dataURLs) < 2 {
+			verdict = "no-pair"
+		}
+		sink.Record(event.Event{
+			Kind:     event.RandomizeVerdict,
+			Crawl:    crawl,
+			Site:     site,
+			Verdict:  verdict,
+			Evidence: mode,
+			Detail:   fmt.Sprintf("%d extractions, %d distinct", len(dataURLs), len(counts)),
+		})
+	}
+	return detected
 }

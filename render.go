@@ -99,6 +99,13 @@ func (s *Study) TelemetryReport() string {
 	sb.WriteString(s.PhaseTimings())
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "parse-cache hit rate: %.1f%%\n\n", 100*crawlerCacheHitRate(s))
+	if active := s.tel.Tracer.Active(); len(active) > 0 {
+		fmt.Fprintf(&sb, "WARNING: %d span(s) never ended (leaked):\n", len(active))
+		for _, sp := range active {
+			fmt.Fprintf(&sb, "  %s (running %s)\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+		sb.WriteByte('\n')
+	}
 	sb.WriteString("Metrics\n")
 	sb.WriteString(s.tel.Metrics.RenderText())
 	return sb.String()

@@ -25,6 +25,7 @@ import (
 	"canvassing/internal/detect"
 	"canvassing/internal/machine"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -46,6 +47,18 @@ type Options struct {
 	WithM1 bool
 }
 
+// Crawl condition labels used in the evidence event log. Bundle diffs
+// align events across runs by (condition, site), so the labels are part
+// of the bundle contract.
+const (
+	CondControl = "control"
+	CondABP     = "abp"
+	CondUBO     = "ubo"
+	CondM1      = "m1"
+	CondDemo    = "demo"
+	CondInner   = "inner"
+)
+
 // Study holds all crawl and analysis artifacts.
 type Study struct {
 	Options Options
@@ -66,11 +79,17 @@ type Study struct {
 	Attribution *attrib.Result
 	// ABP and UBO are the ad-blocker re-crawls (nil unless WithAdblock).
 	ABP, UBO *crawler.Result
+	// ABPSites and UBOSites are the analyzed re-crawl pages (cached so
+	// Table 2 and run bundles share one evented analysis).
+	ABPSites, UBOSites []detect.SiteCanvases
 	// M1 is the validation crawl (nil unless WithM1).
 	M1 *crawler.Result
+	// M1Sites are the analyzed validation pages (cached like ABPSites).
+	M1Sites []detect.SiteCanvases
 
 	crawlSites []*web.Site // cohort sites in crawl order
 	tel        *obs.Telemetry
+	randCache  map[int]RandomizationResult
 }
 
 // Telemetry exposes the study's metrics registry and span tracer.
@@ -116,50 +135,66 @@ func Run(opts Options) *Study {
 
 // crawlConfig builds the shared crawler configuration. Every crawl a
 // study launches (control, ground truth, re-crawls, defenses) feeds
-// the same telemetry registry.
-func (s *Study) crawlConfig() crawler.Config {
+// the same telemetry registry; condition labels the crawl's decisions
+// in the evidence event log.
+func (s *Study) crawlConfig(condition string) crawler.Config {
 	cfg := crawler.DefaultConfig()
 	cfg.Workers = s.Options.Workers
 	cfg.Seed = s.Options.Seed
 	cfg.Telemetry = s.tel
+	cfg.Condition = condition
 	return cfg
+}
+
+// events returns the study's evidence event sink (nil-safe for
+// analyses that run without telemetry).
+func (s *Study) events() *event.Sink {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Events
 }
 
 // RunControl performs the control crawl over both cohorts.
 func (s *Study) RunControl() {
 	defer s.tel.Tracer.Start("crawl.control", "sites", fmt.Sprint(len(s.crawlSites))).End()
-	s.Control = crawler.Crawl(s.Web, s.crawlSites, s.crawlConfig())
+	s.Control = crawler.Crawl(s.Web, s.crawlSites, s.crawlConfig(CondControl))
 }
 
 // Analyze runs detection, clustering, ground truth and attribution over
-// the control crawl. RunControl must have been called.
+// the control crawl, recording every verdict to the evidence log.
+// RunControl must have been called.
 func (s *Study) Analyze() {
+	evs := s.events()
 	sp := s.tel.Tracer.Start("detect")
-	s.Sites = detect.AnalyzeAll(s.Control.Pages)
+	s.Sites = detect.AnalyzeAllEvents(s.Control.Pages, evs, CondControl)
 	sp.End()
 	sp = s.tel.Tracer.Start("cluster")
-	s.Clustering = cluster.Build(s.Sites)
+	s.Clustering = cluster.BuildEvents(s.Sites, evs)
 	sp.End()
 	sp = s.tel.Tracer.Start("attrib")
 	gt := sp.StartChild("groundtruth")
-	s.GroundTruth = attrib.BuildGroundTruth(s.Web, s.Sites, s.crawlConfig())
+	s.GroundTruth = attrib.BuildGroundTruthEvents(s.Web, s.Sites, s.crawlConfig(CondDemo), evs)
 	gt.End()
-	s.Attribution = attrib.Attribute(s.Clustering, s.GroundTruth, s.Sites)
+	s.Attribution = attrib.AttributeEvents(s.Clustering, s.GroundTruth, s.Sites, evs)
 	sp.End()
 }
 
-// RunAdblock performs the two ad-blocker re-crawls (Table 2).
+// RunAdblock performs the two ad-blocker re-crawls (Table 2) and
+// analyzes their pages under the "abp"/"ubo" condition labels.
 func (s *Study) RunAdblock() {
 	sp := s.tel.Tracer.Start("crawl.adblock")
 	abp := sp.StartChild("abp")
-	abpCfg := s.crawlConfig()
+	abpCfg := s.crawlConfig(CondABP)
 	abpCfg.Extension = newABP(s.Lists)
 	s.ABP = crawler.Crawl(s.Web, s.crawlSites, abpCfg)
+	s.ABPSites = detect.AnalyzeAllEvents(s.ABP.Pages, s.events(), CondABP)
 	abp.End()
 	ubo := sp.StartChild("ubo")
-	uboCfg := s.crawlConfig()
+	uboCfg := s.crawlConfig(CondUBO)
 	uboCfg.Extension = newUBO(s.Lists)
 	s.UBO = crawler.Crawl(s.Web, s.crawlSites, uboCfg)
+	s.UBOSites = detect.AnalyzeAllEvents(s.UBO.Pages, s.events(), CondUBO)
 	ubo.End()
 	sp.End()
 }
@@ -167,9 +202,10 @@ func (s *Study) RunAdblock() {
 // RunM1 performs the Apple-silicon validation crawl (§3.1).
 func (s *Study) RunM1() {
 	defer s.tel.Tracer.Start("crawl.m1").End()
-	cfg := s.crawlConfig()
+	cfg := s.crawlConfig(CondM1)
 	cfg.Profile = machine.AppleM1()
 	s.M1 = crawler.Crawl(s.Web, s.crawlSites, cfg)
+	s.M1Sites = detect.AnalyzeAllEvents(s.M1.Pages, s.events(), CondM1)
 }
 
 // longtailTrackerCoverage decides which boutique fingerprinting hosts the
