@@ -1,10 +1,10 @@
 # Build/verify targets. `make check` is the extended verify command
 # recorded in ROADMAP.md: build + full tests + race on the concurrent
-# packages + vet.
+# packages + vet + a short fuzz smoke over the parsers.
 
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race vet fuzz-smoke check bench
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The crawler worker pool, the obs registry, and the evidence event
-# sink are the places goroutines share state; hammer them under the
-# race detector.
+# The crawler worker pool, the obs registry, the evidence event sink,
+# the fault model, and the bundle layer are the places goroutines share
+# state; hammer them under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle
 
 vet:
 	$(GO) vet ./...
 
-check: build test race vet
+# fuzz-smoke gives each parser fuzzer a short budget — enough to catch
+# regressions in the URL and filter-rule grammars without stalling CI.
+# Longer sessions: go test -fuzz FuzzParseRule -fuzztime 5m ./internal/blocklist
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzParseURL -fuzztime 10s ./internal/netsim
+	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
+
+check: build test race vet fuzz-smoke
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

@@ -6,6 +6,15 @@
 // writes the span trace as JSON lines, -pprof serves /metrics, /spans,
 // /events, and net/http/pprof live during the crawl, and -outdir
 // writes a run bundle for later comparison with cmd/runsdiff.
+//
+// Fault injection: -faults gives every site a seeded chance of a fault
+// plan (outage, flaky connection, latency spike, truncated response)
+// that the crawler's resilience engine retries through; -retries and
+// -visit-timeout tune the engine. -fault-sweep crawls the same web at a
+// comma-separated list of fault rates and prints a resilience table
+// instead of page JSONL:
+//
+//	crawl -scale 0.05 -fault-sweep 0,0.1,0.2,0.4
 package main
 
 import (
@@ -15,13 +24,18 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"canvassing/internal/adblock"
 	"canvassing/internal/blocklist"
 	"canvassing/internal/bundle"
 	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
 	"canvassing/internal/machine"
+	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
+	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
 
@@ -33,7 +47,9 @@ func main() {
 	blocker := flag.String("adblock", "none", "none, abp, or ubo")
 	workers := flag.Int("workers", 8, "crawler worker pool width")
 	out := flag.String("out", "", "output JSONL path (default stdout)")
+	sweep := flag.String("fault-sweep", "", "comma-separated fault rates to crawl in sequence (prints a resilience table, suppresses page JSONL)")
 	cli := obs.BindCLI(flag.CommandLine)
+	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
@@ -78,6 +94,19 @@ func main() {
 		cfg.Condition = "ubo"
 	default:
 		log.Fatalf("unknown adblock %q", *blocker)
+	}
+
+	if fcli.Rate > 0 {
+		cfg.Faults = netsim.NewFaultModel(*seed, fcli.Rate)
+		cfg.Retries = fcli.Retries
+		cfg.VisitTimeout = fcli.VisitTimeout
+	}
+
+	if *sweep != "" {
+		if err := runFaultSweep(w, sites, cfg, *seed, *sweep, fcli); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	cfg.Telemetry = tel
@@ -125,4 +154,46 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
 	}
+}
+
+// runFaultSweep crawls the same site list once per requested fault rate
+// (fresh telemetry each run, same seed) and prints how resilience and
+// measured prevalence respond as the network degrades.
+func runFaultSweep(w *web.Web, sites []*web.Site, base crawler.Config, seed uint64, spec string, fcli *obs.FaultCLI) error {
+	var rates []float64
+	for _, f := range strings.Split(spec, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("fault-sweep: bad rate %q: %w", f, err)
+		}
+		rates = append(rates, r)
+	}
+	t := report.NewTable(fmt.Sprintf("Fault sweep — seed %d, %d sites", seed, len(sites)),
+		"rate", "ok", "degraded", "failed", "refused", "timeout", "circ-open", "retries", "extractions", "fp-sites", "prevalence")
+	for _, rate := range rates {
+		cfg := base
+		cfg.Telemetry = obs.NewTelemetry()
+		cfg.Faults = nil
+		if rate > 0 {
+			cfg.Faults = netsim.NewFaultModel(seed, rate)
+			cfg.Retries = fcli.Retries
+			cfg.VisitTimeout = fcli.VisitTimeout
+		}
+		res := crawler.Crawl(w, sites, cfg)
+		st := res.Stats().Total
+		ds := detect.ComputeStats(detect.AnalyzeAll(res.Pages))
+		snap := cfg.Telemetry.Metrics.Snapshot()
+		t.AddRow(fmt.Sprintf("%.0f%%", rate*100),
+			fmt.Sprint(st.OK), fmt.Sprint(st.Degraded), fmt.Sprint(st.Failed),
+			fmt.Sprint(st.FailReasons[crawler.FailRefused]),
+			fmt.Sprint(st.FailReasons[crawler.FailTimeout]),
+			fmt.Sprint(st.FailReasons[crawler.FailCircuitOpen]),
+			fmt.Sprint(snap.Counters["crawl.retry"]),
+			fmt.Sprint(st.Extractions),
+			fmt.Sprint(ds.SitesFingerprinting),
+			fmt.Sprintf("%.1f%%", 100*ds.PrevalenceFraction()))
+		fmt.Fprintf(os.Stderr, "fault-sweep: rate %.0f%% done (%d/%d ok)\n", rate*100, st.OK, st.Visited)
+	}
+	fmt.Print(t.String())
+	return nil
 }

@@ -32,6 +32,7 @@ func main() {
 	out := flag.String("out", "", "also write the report to this file")
 	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
 	cli := obs.BindCLI(flag.CommandLine)
+	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
 
 	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
@@ -54,11 +55,14 @@ func main() {
 	// Build the study in stages (rather than canvassing.Run) so the
 	// debug endpoint is live while the crawls execute.
 	s := canvassing.New(canvassing.Options{
-		Seed:        *seed,
-		Scale:       *scale,
-		Workers:     *workers,
-		WithAdblock: true,
-		WithM1:      true,
+		Seed:         *seed,
+		Scale:        *scale,
+		Workers:      *workers,
+		WithAdblock:  true,
+		WithM1:       true,
+		FaultRate:    fcli.Rate,
+		Retries:      fcli.Retries,
+		VisitTimeout: fcli.VisitTimeout,
 	})
 	cli.StartPprof(s.Telemetry())
 	s.RunControl()

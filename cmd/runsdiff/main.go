@@ -55,11 +55,7 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("A: %s  seed=%d scale=%g events=%d %v\n",
-		flag.Arg(0), a.Manifest.Seed, a.Manifest.Scale, a.Manifest.Events, a.Manifest.Conditions)
-	fmt.Printf("B: %s  seed=%d scale=%g events=%d %v\n",
-		flag.Arg(1), b.Manifest.Seed, b.Manifest.Scale, b.Manifest.Events, b.Manifest.Conditions)
-	fmt.Print(d.Render())
+	fmt.Print(bundle.RenderComparison(a, b, d))
 }
 
 func writeJSON(d bundle.Diff) error {
@@ -74,5 +70,6 @@ func writeJSON(d bundle.Diff) error {
 		AttribChanges []bundle.AttribChange `json:"attrib_changes"`
 		CounterDeltas []bundle.MetricDelta  `json:"counter_deltas"`
 		HistDeltas    []bundle.HistDelta    `json:"hist_deltas"`
-	}{d.CondA, d.CondB, d.FPSitesA, d.FPSitesB, d.Flips, d.AttribChanges, d.CounterDeltas, d.HistDeltas})
+		OutcomeDeltas []bundle.MetricDelta  `json:"outcome_deltas"`
+	}{d.CondA, d.CondB, d.FPSitesA, d.FPSitesB, d.Flips, d.AttribChanges, d.CounterDeltas, d.HistDeltas, d.OutcomeDeltas})
 }

@@ -823,3 +823,86 @@ func (r RuleContextResult) Render() string {
 	fmt.Fprintf(&sb, "  (EasyPrivacy would match it: %v — but the paper's extensions use EasyList)\n", r.BlockedByEasyPriv)
 	return sb.String()
 }
+
+// --- E13: crawl health under fault injection ----------------------------------------------------------------
+
+// CrawlHealthRow summarizes one crawl condition's visit outcomes under
+// the study's fault model.
+type CrawlHealthRow struct {
+	Condition string
+	Visited   int
+	OK        int
+	Degraded  int
+	Failed    int
+	// Failure-reason splits (subsets of Failed).
+	Refused, Timeout, CircuitOpen, Unreachable int
+}
+
+// CrawlHealthResult is experiment E13: how the crawl fared against the
+// injected faults, per condition plus the engine-level retry counters.
+// Prevalence and every downstream experiment compute over the OK
+// survivors only, so this table is the denominator audit for a faulted
+// run.
+type CrawlHealthResult struct {
+	// FaultRate echoes the study's per-site fault probability.
+	FaultRate float64
+	Rows      []CrawlHealthRow
+	// Aggregate resilience-engine counters across all crawls, read from
+	// the telemetry registry (crawl.retry, crawl.timeout, crawl.refused,
+	// crawl.circuit-open).
+	RetryTotal, TimeoutTotal, RefusedTotal, CircuitOpenTotal int64
+}
+
+// CrawlHealth computes E13 over every crawl the study has run.
+func (s *Study) CrawlHealth() CrawlHealthResult {
+	res := CrawlHealthResult{}
+	if s.Faults != nil {
+		res.FaultRate = s.Faults.Rate()
+	}
+	add := func(cond string, r *crawler.Result) {
+		if r == nil {
+			return
+		}
+		st := r.Stats().Total
+		res.Rows = append(res.Rows, CrawlHealthRow{
+			Condition:   cond,
+			Visited:     st.Visited,
+			OK:          st.OK,
+			Degraded:    st.Degraded,
+			Failed:      st.Failed,
+			Refused:     st.FailReasons[crawler.FailRefused],
+			Timeout:     st.FailReasons[crawler.FailTimeout],
+			CircuitOpen: st.FailReasons[crawler.FailCircuitOpen],
+			Unreachable: st.FailReasons[crawler.FailUnreachable],
+		})
+	}
+	add(CondControl, s.Control)
+	add(CondABP, s.ABP)
+	add(CondUBO, s.UBO)
+	add(CondM1, s.M1)
+	if s.tel != nil {
+		// Read through Snapshot: asking the registry for the counters
+		// would register them, polluting fault-free runs.
+		snap := s.tel.Metrics.Snapshot()
+		res.RetryTotal = snap.Counters["crawl.retry"]
+		res.TimeoutTotal = snap.Counters["crawl.timeout"]
+		res.RefusedTotal = snap.Counters["crawl.refused"]
+		res.CircuitOpenTotal = snap.Counters["crawl.circuit-open"]
+	}
+	return res
+}
+
+// Render formats E13.
+func (r CrawlHealthResult) Render() string {
+	t := report.NewTable(fmt.Sprintf("E13 — crawl health under fault injection (rate %.0f%%)", r.FaultRate*100),
+		"condition", "visited", "ok", "degraded", "failed", "refused", "timeout", "circuit-open")
+	for _, row := range r.Rows {
+		t.AddRow(row.Condition, fmt.Sprint(row.Visited), fmt.Sprint(row.OK), fmt.Sprint(row.Degraded),
+			fmt.Sprint(row.Failed), fmt.Sprint(row.Refused), fmt.Sprint(row.Timeout), fmt.Sprint(row.CircuitOpen))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "  engine: retries %d, timeouts %d, refusals %d, circuit-opens %d\n",
+		r.RetryTotal, r.TimeoutTotal, r.RefusedTotal, r.CircuitOpenTotal)
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package blocklist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRule hammers the filter parser and matcher with arbitrary
+// rule lines and URLs: neither may panic, and accepted rules must keep
+// the parse-level invariants (Raw preservation, "@@" ⇒ Exception) the
+// engine and the rule-provenance reports rely on.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"||tracker.example.com^",
+		"||ads.example.com^$script,third-party",
+		"|https://cdn.example.com/fp.js|",
+		"@@||goodsite.com^$script",
+		"/fingerprint/*/collect^|",
+		"abc^|",
+		"^^^",
+		"$script",
+		"||x^$domain=a.com|~b.a.com",
+		"tracker$script,domain=",
+		"! comment",
+		"##.ad-banner",
+		"@@",
+		"*",
+		"||",
+		"|x|",
+		"a$unknownopt",
+		"||mgid.com^$document",
+	} {
+		f.Add(seed, "https://sub.tracker.example.com/fp/collect.js")
+	}
+	f.Fuzz(func(t *testing.T, line, rawURL string) {
+		r, ok := ParseRule(line)
+		if !ok {
+			if r != nil {
+				t.Fatalf("ParseRule(%q) returned a rule with ok=false", line)
+			}
+			return
+		}
+		if r.Raw != strings.TrimSpace(line) {
+			t.Fatalf("ParseRule(%q).Raw = %q, want the trimmed line", line, r.Raw)
+		}
+		if r.Exception != strings.HasPrefix(r.Raw, "@@") {
+			t.Fatalf("ParseRule(%q): Exception=%v disagrees with @@ prefix", line, r.Exception)
+		}
+		// Matching must be total: no panics for any rule/URL pair, and
+		// a deterministic answer (same request twice, same verdict).
+		for _, req := range []Request{
+			{URL: rawURL, Type: TypeScript, PageHost: "news.example", ThirdParty: true},
+			{URL: rawURL, Type: TypeDocument, PageHost: "tracker.example.com", ThirdParty: false},
+			{URL: "https://sub.tracker.example.com/fp/collect.js", Type: TypeScript, PageHost: "a.b", ThirdParty: true},
+			{URL: "", Type: TypeImage},
+		} {
+			if r.Matches(req) != r.Matches(req) {
+				t.Fatalf("ParseRule(%q): Matches not deterministic for %+v", line, req)
+			}
+		}
+	})
+}

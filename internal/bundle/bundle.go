@@ -201,6 +201,20 @@ func (b *Bundle) Attributions() map[string]string {
 	return out
 }
 
+// VisitOutcomes tallies the visit.outcome events of one crawl condition
+// by verdict ("ok", "degraded", "refused", ...). Empty for fault-free
+// runs, which record no visit outcomes.
+func (b *Bundle) VisitOutcomes(cond string) map[string]int {
+	out := map[string]int{}
+	for i := range b.Events {
+		e := &b.Events[i]
+		if e.Kind == event.VisitOutcome && e.Crawl == cond {
+			out[e.Verdict]++
+		}
+	}
+	return out
+}
+
 // VerdictFlip is one site whose fingerprinting verdict differs between
 // the two compared conditions.
 type VerdictFlip struct {
@@ -244,6 +258,10 @@ type Diff struct {
 	// HistDeltas lists histograms whose means moved by more than 25%
 	// (candidate performance regressions).
 	HistDeltas []HistDelta
+	// OutcomeDeltas lists visit-outcome verdict counts that differ —
+	// how fault injection (or a resilience change) shifted the crawl's
+	// ok/degraded/failed mix between the runs.
+	OutcomeDeltas []MetricDelta
 }
 
 // Compute diffs bundle a (condition condA) against bundle b (condition
@@ -326,6 +344,25 @@ func Compute(a, b *Bundle, condA, condB string) Diff {
 			d.HistDeltas = append(d.HistDeltas, HistDelta{Name: n, MeanA: ma, MeanB: mb, RelPct: rel})
 		}
 	}
+
+	outA, outB := a.VisitOutcomes(condA), b.VisitOutcomes(condB)
+	verdicts := map[string]bool{}
+	for v := range outA {
+		verdicts[v] = true
+	}
+	for v := range outB {
+		verdicts[v] = true
+	}
+	var vnames []string
+	for v := range verdicts {
+		vnames = append(vnames, v)
+	}
+	sort.Strings(vnames)
+	for _, v := range vnames {
+		if va, vb := outA[v], outB[v]; va != vb {
+			d.OutcomeDeltas = append(d.OutcomeDeltas, MetricDelta{Name: v, A: int64(va), B: int64(vb)})
+		}
+	}
 	return d
 }
 
@@ -386,5 +423,31 @@ func (d Diff) Render() string {
 			fmt.Fprintf(&sb, "    %-32s mean %.6g → %.6g (%+.1f%%)\n", h.Name, h.MeanA, h.MeanB, h.RelPct)
 		}
 	}
+	if len(d.OutcomeDeltas) > 0 {
+		fmt.Fprintf(&sb, "  visit-outcome deltas:\n")
+		for _, m := range d.OutcomeDeltas {
+			fmt.Fprintf(&sb, "    %-32s %d → %d (%+d)\n", m.Name, m.A, m.B, m.B-m.A)
+		}
+	}
+	return sb.String()
+}
+
+// RenderComparison is the full runsdiff report: one identifying header
+// line per bundle followed by the diff. Pinned by a golden test, so
+// cmd/runsdiff stays a thin shell around it.
+func RenderComparison(a, b *Bundle, d Diff) string {
+	var sb strings.Builder
+	describe := func(label string, bl *Bundle) {
+		m := bl.Manifest
+		fmt.Fprintf(&sb, "%s: %s (seed %d, scale %g, %d events", label, bl.Dir, m.Seed, m.Scale, m.Events)
+		if len(m.Conditions) > 0 {
+			fmt.Fprintf(&sb, ", conditions %s", strings.Join(m.Conditions, "+"))
+		}
+		sb.WriteString(")\n")
+	}
+	describe("A", a)
+	describe("B", b)
+	sb.WriteByte('\n')
+	sb.WriteString(d.Render())
 	return sb.String()
 }

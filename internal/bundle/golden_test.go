@@ -1,0 +1,104 @@
+package bundle
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
+)
+
+var update = flag.Bool("update", false, "regenerate the bundle fixtures and golden files")
+
+// goldenTelemetry builds the deterministic run the golden fixtures pin.
+// Variant "b" shifts the run the way a faulted re-crawl would: one site
+// loses its fingerprinting verdict, attribution moves, counters and the
+// virtual-latency histogram drift, and visit.outcome events appear.
+func goldenTelemetry(variant string) *obs.Telemetry {
+	tel := obs.NewTelemetry()
+	c := tel.Metrics.Counter
+	h := tel.Metrics.Histogram("crawl.visit.virtual.seconds", obs.LatencyBuckets())
+	rec := func(e event.Event) { tel.Events.Record(e) }
+
+	c("crawl.visits.ok").Add(96)
+	rec(event.Event{Kind: event.DetectClassify, Crawl: "control", Site: "alpha.example", Subject: "h-alpha", Verdict: "fingerprintable"})
+	rec(event.Event{Kind: event.DetectClassify, Crawl: "control", Site: "beta.example", Subject: "h-beta", Verdict: "fingerprintable"})
+	rec(event.Event{Kind: event.AttribEvidence, Site: "alpha.example", Verdict: "acme", Evidence: "demo-hash"})
+	h.Observe(0.4)
+	h.Observe(0.4)
+
+	switch variant {
+	case "a":
+		c("crawl.visits.failed").Add(4)
+		rec(event.Event{Kind: event.DetectClassify, Crawl: "control", Site: "gamma.example", Subject: "h-gamma", Verdict: "fingerprintable"})
+	case "b":
+		c("crawl.visits.failed").Add(9)
+		c("crawl.retry").Add(17)
+		c("crawl.circuit-open").Add(3)
+		rec(event.Event{Kind: event.DetectClassify, Crawl: "control", Site: "delta.example", Subject: "h-delta", Verdict: "fingerprintable"})
+		rec(event.Event{Kind: event.AttribEvidence, Site: "beta.example", Verdict: "globex", Evidence: "url-pattern"})
+		rec(event.Event{Kind: event.VisitOutcome, Crawl: "control", Site: "alpha.example", Verdict: "ok", Evidence: "none", Detail: "attempts=1"})
+		rec(event.Event{Kind: event.VisitOutcome, Crawl: "control", Site: "beta.example", Verdict: "degraded", Evidence: "truncate", Detail: "attempts=1"})
+		rec(event.Event{Kind: event.VisitOutcome, Crawl: "control", Site: "down.example", Verdict: "circuit-open", Evidence: "outage", Detail: "attempts=3"})
+		h.Observe(2.5)
+		h.Observe(4.0)
+	}
+	return tel
+}
+
+// TestRunsdiffGolden pins the full runsdiff text report — the
+// RenderComparison output cmd/runsdiff prints — against committed
+// bundle fixtures. Run with -update to regenerate both the fixtures
+// and the golden file after an intentional format change.
+func TestRunsdiffGolden(t *testing.T) {
+	fixA := filepath.Join("testdata", "run_a")
+	fixB := filepath.Join("testdata", "run_b")
+	goldenPath := filepath.Join("testdata", "runsdiff.golden")
+
+	if *update {
+		if err := Write(fixA, Manifest{Seed: 1, Scale: 0.02, Workers: 1, Notes: "golden fixture A"}, goldenTelemetry("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(fixB, Manifest{Seed: 1, Scale: 0.02, Workers: 1, Notes: "golden fixture B"}, goldenTelemetry("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a, err := Load(fixA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(fixB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderComparison(a, b, Compute(a, b, "control", "control"))
+
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("runsdiff output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nRe-run with -update if the change is intentional.", got, want)
+	}
+
+	// The diff itself must surface each change class the fixtures plant.
+	d := Compute(a, b, "control", "control")
+	if d.Lost() != 1 || d.Gained() != 1 {
+		t.Fatalf("flips = %d lost / %d gained, want 1/1", d.Lost(), d.Gained())
+	}
+	if len(d.AttribChanges) != 1 || d.AttribChanges[0].Site != "beta.example" {
+		t.Fatalf("attrib changes = %+v", d.AttribChanges)
+	}
+	if len(d.CounterDeltas) == 0 || len(d.HistDeltas) == 0 || len(d.OutcomeDeltas) != 3 {
+		t.Fatalf("deltas missing: counters=%d hists=%d outcomes=%d",
+			len(d.CounterDeltas), len(d.HistDeltas), len(d.OutcomeDeltas))
+	}
+}

@@ -8,6 +8,7 @@ package crawler
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -53,6 +54,14 @@ type PageResult struct {
 	Cohort web.Cohort
 	// OK is false when the site could not be crawled.
 	OK bool
+	// FailReason explains OK == false: "unreachable" (the site was
+	// never servable), "refused", "timeout", or "circuit-open" (see the
+	// Fail* constants). Empty for successful visits.
+	FailReason string `json:",omitempty"`
+	// Degraded marks a partially loaded page: fault injection truncated
+	// the resource stream, but the canvas calls the surviving scripts
+	// made are still recorded instead of the page being dropped.
+	Degraded bool `json:",omitempty"`
 	// Extractions lists canvas extraction events in order.
 	Extractions []Extraction
 	// ScriptMethods maps script URL → set of context/canvas members the
@@ -147,6 +156,28 @@ type Config struct {
 	// "abp", "demo", ...) so bundle diffs can align per-condition
 	// decisions across runs. Empty is fine for unlabeled crawls.
 	Condition string
+	// Faults injects deterministic network failures into every visit
+	// (nil disables injection; the crawl then behaves exactly as it did
+	// before the resilience engine existed).
+	Faults *netsim.FaultModel
+	// Retries caps re-attempts after a failed visit attempt
+	// (<=0 selects 3 when Faults is set).
+	Retries int
+	// VisitTimeout is the virtual per-attempt deadline an attempt's
+	// simulated latency is compared against (<=0 selects 5s).
+	VisitTimeout time.Duration
+	// BackoffBase and BackoffCap bound the exponential retry backoff
+	// (<=0 selects 500ms and 8s).
+	BackoffBase, BackoffCap time.Duration
+	// BreakerThreshold opens the per-site circuit after that many
+	// consecutive failed attempts (<=0 selects 3; set above Retries to
+	// effectively disable the breaker).
+	BreakerThreshold int
+	// Sleep, when non-nil, receives each computed backoff delay. The
+	// simulation keeps time virtual by default (nil: delays are only
+	// recorded, never slept), so faulted crawls run at full speed; a
+	// real deployment would pass time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // DefaultConfig returns the paper's crawl configuration: consent
@@ -203,6 +234,30 @@ type crawlMetrics struct {
 	parseTime, vmSteps         *obs.Histogram
 	workerUtil                 *obs.Histogram
 	workers                    *obs.Gauge
+	// faults holds the resilience-engine metrics; nil unless the crawl
+	// runs with a FaultModel, so fault-free runs leave the registry —
+	// and therefore run bundles — byte-identical to earlier builds.
+	faults *faultMetrics
+}
+
+// faultMetrics are the retry/timeout/circuit-breaker counters the
+// resilience engine emits (crawl.retry, crawl.timeout, ...).
+type faultMetrics struct {
+	retries, timeouts, refused *obs.Counter
+	circuitOpen, degraded      *obs.Counter
+	backoff, virtual           *obs.Histogram
+}
+
+func newFaultMetrics(reg *obs.Registry) *faultMetrics {
+	return &faultMetrics{
+		retries:     reg.Counter("crawl.retry"),
+		timeouts:    reg.Counter("crawl.timeout"),
+		refused:     reg.Counter("crawl.refused"),
+		circuitOpen: reg.Counter("crawl.circuit-open"),
+		degraded:    reg.Counter("crawl.visits.degraded"),
+		backoff:     reg.Histogram("crawl.backoff.seconds", obs.LatencyBuckets()),
+		virtual:     reg.Histogram("crawl.visit.virtual.seconds", obs.LatencyBuckets()),
+	}
 }
 
 func newCrawlMetrics(reg *obs.Registry) *crawlMetrics {
@@ -254,6 +309,23 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	if cfg.MaxStepsPerScript <= 0 {
 		cfg.MaxStepsPerScript = 20_000_000
 	}
+	if cfg.Faults != nil {
+		if cfg.Retries <= 0 {
+			cfg.Retries = 3
+		}
+		if cfg.VisitTimeout <= 0 {
+			cfg.VisitTimeout = 5 * time.Second
+		}
+		if cfg.BackoffBase <= 0 {
+			cfg.BackoffBase = 500 * time.Millisecond
+		}
+		if cfg.BackoffCap <= 0 {
+			cfg.BackoffCap = 8 * time.Second
+		}
+		if cfg.BreakerThreshold <= 0 {
+			cfg.BreakerThreshold = 3
+		}
+	}
 	res := &Result{
 		Pages:   make([]*PageResult, len(sites)),
 		Machine: cfg.Profile.Name,
@@ -266,6 +338,9 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	if cfg.Telemetry != nil {
 		mx = newCrawlMetrics(cfg.Telemetry.Metrics)
 		mx.workers.Set(int64(cfg.Workers))
+		if cfg.Faults != nil {
+			mx.faults = newFaultMetrics(cfg.Telemetry.Metrics)
+		}
 		evs = cfg.Telemetry.Events
 	}
 	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
@@ -320,10 +395,34 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		ScriptErrors:  map[string]string{},
 	}
 	if !site.CrawlOK {
+		pr.FailReason = FailUnreachable
 		if mx != nil {
 			mx.visitsFailed.Inc()
 		}
+		if cfg.Faults != nil {
+			recordVisitOutcome(evs, &cfg, site, FailUnreachable, netsim.FaultNone, 0)
+		}
 		return pr
+	}
+	// The connection phase: under fault injection the visit must first
+	// survive the network — retries, timeouts, and the circuit breaker
+	// all happen here, before any script runs.
+	truncate := 1.0
+	attempts := 1
+	planKind := netsim.FaultNone
+	if cfg.Faults != nil {
+		planKind = cfg.Faults.PlanFor(site.Domain).Kind
+		var reason string
+		truncate, reason, attempts = connect(site.Domain, &cfg, mx)
+		if reason != "" {
+			pr.OK = false
+			pr.FailReason = reason
+			if mx != nil {
+				mx.visitsFailed.Inc()
+			}
+			recordVisitOutcome(evs, &cfg, site, reason, planKind, attempts)
+			return pr
+		}
 	}
 	if mx != nil {
 		mx.visitsOK.Inc()
@@ -367,7 +466,26 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	})
 	doc.Install(in)
 
-	runScript := func(ps web.PageScript) {
+	// A truncated load serves only the first `served` of the page's
+	// script tags; the rest never arrive. The page is NOT dropped — the
+	// canvas calls its surviving scripts make are recorded as usual
+	// (graceful degradation), with the missing tags noted as errors.
+	served := len(site.Scripts)
+	if truncate < 1 {
+		served = int(math.Ceil(truncate * float64(len(site.Scripts))))
+		if served < len(site.Scripts) {
+			pr.Degraded = true
+		}
+	}
+
+	runScript := func(ps web.PageScript, truncated bool) {
+		if truncated {
+			pr.ScriptErrors[ps.URL.String()] = "fetch: truncated response"
+			if mx != nil {
+				mx.scriptErrors.Inc()
+			}
+			return
+		}
 		if ps.NeedsConsent && !cfg.AutoConsent {
 			if mx != nil {
 				mx.consentSkip.Inc()
@@ -450,26 +568,54 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	}
 
 	// First pass: immediate scripts; second pass: scroll-gated scripts.
-	for _, ps := range site.Scripts {
+	for i, ps := range site.Scripts {
 		if !ps.OnScroll {
-			runScript(ps)
+			runScript(ps, i >= served)
 		}
 	}
 	if cfg.Scroll {
-		for _, ps := range site.Scripts {
+		for i, ps := range site.Scripts {
 			if ps.OnScroll {
-				runScript(ps)
+				runScript(ps, i >= served)
 			}
 		}
 	}
 	if cfg.VisitInnerPages {
 		for _, ps := range site.InnerScripts {
-			runScript(ps)
+			runScript(ps, false)
 		}
 	}
 	sort.Slice(pr.Extractions, func(i, j int) bool { return pr.Extractions[i].Seq < pr.Extractions[j].Seq })
 	if mx != nil {
 		mx.extractions.Add(int64(len(pr.Extractions)))
 	}
+	if cfg.Faults != nil {
+		verdict := "ok"
+		if pr.Degraded {
+			verdict = "degraded"
+			if mx != nil && mx.faults != nil {
+				mx.faults.degraded.Inc()
+			}
+		}
+		recordVisitOutcome(evs, &cfg, site, verdict, planKind, attempts)
+	}
 	return pr
+}
+
+// recordVisitOutcome files the visit.outcome evidence event: how the
+// visit ended, under which fault plan, after how many attempts. Only
+// fault-injected crawls record these, so fault-free bundles stay
+// identical to pre-resilience builds.
+func recordVisitOutcome(evs *event.Sink, cfg *Config, site *web.Site, verdict string, kind netsim.FaultKind, attempts int) {
+	if evs == nil {
+		return
+	}
+	evs.Record(event.Event{
+		Kind:     event.VisitOutcome,
+		Crawl:    cfg.Condition,
+		Site:     site.Domain,
+		Verdict:  verdict,
+		Evidence: kind.String(),
+		Detail:   fmt.Sprintf("attempts=%d", attempts),
+	})
 }

@@ -1,0 +1,236 @@
+package crawler
+
+import (
+	"encoding/json"
+	"testing"
+
+	"canvassing/internal/netsim"
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
+	"canvassing/internal/web"
+)
+
+func marshalPages(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestZeroRateFaultModelIsIdentity pins the invariant the whole PR
+// rests on: a crawl routed through the resilience engine with a 0%
+// fault model produces byte-identical results to a crawl with no fault
+// model at all.
+func TestZeroRateFaultModelIsIdentity(t *testing.T) {
+	w := testWeb(t)
+	sites := w.CohortSites(web.Popular)
+
+	plain := Crawl(w, sites, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Faults = netsim.NewFaultModel(cfg.Seed, 0)
+	faulted := Crawl(w, sites, cfg)
+
+	a, b := marshalPages(t, plain), marshalPages(t, faulted)
+	if string(a) != string(b) {
+		t.Fatal("zero-rate fault crawl diverged from the fault-free crawl")
+	}
+}
+
+// okSite finds a crawlable site; withScripts additionally demands
+// enough script tags for truncation to bite.
+func okSite(t *testing.T, sites []*web.Site, minScripts int) *web.Site {
+	t.Helper()
+	for _, s := range sites {
+		if s.CrawlOK && len(s.Scripts) >= minScripts {
+			return s
+		}
+	}
+	t.Fatalf("no crawlable site with >= %d scripts", minScripts)
+	return nil
+}
+
+// TestFaultSemantics pins what each fault kind does to a visit under
+// the default engine parameters (3 retries, breaker threshold 3).
+func TestFaultSemantics(t *testing.T) {
+	w := testWeb(t)
+	site := okSite(t, w.CohortSites(web.Popular), 2)
+
+	cases := []struct {
+		name       string
+		plan       netsim.FaultPlan
+		breaker    int // 0 = default (3)
+		wantOK     bool
+		wantReason string
+		wantDegr   bool
+	}{
+		{name: "healthy", plan: netsim.FaultPlan{Kind: netsim.FaultNone, Truncate: 1}, wantOK: true},
+		{name: "outage trips the breaker",
+			plan:       netsim.FaultPlan{Kind: netsim.FaultOutage, Truncate: 1},
+			wantReason: FailCircuitOpen},
+		{name: "outage without breaker exhausts retries as refused",
+			plan:       netsim.FaultPlan{Kind: netsim.FaultOutage, Truncate: 1},
+			breaker:    100, // above Retries: breaker never trips
+			wantReason: FailRefused},
+		{name: "flaky recovers within the retry budget",
+			plan:   netsim.FaultPlan{Kind: netsim.FaultFlaky, FailCount: 2, Truncate: 1},
+			wantOK: true},
+		{name: "latency spike recovers within the retry budget",
+			plan:   netsim.FaultPlan{Kind: netsim.FaultLatency, FailCount: 1, Truncate: 1},
+			wantOK: true},
+		{name: "truncation degrades gracefully",
+			plan:     netsim.FaultPlan{Kind: netsim.FaultTruncate, Truncate: 0.5},
+			wantOK:   true,
+			wantDegr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Faults = netsim.NewFaultModel(cfg.Seed, 0)
+			cfg.Faults.Force(site.Domain, tc.plan)
+			cfg.BreakerThreshold = tc.breaker
+			res := Crawl(w, []*web.Site{site}, cfg)
+			p := res.Pages[0]
+			if p.OK != tc.wantOK {
+				t.Fatalf("OK = %v, want %v (%+v)", p.OK, tc.wantOK, p)
+			}
+			if p.FailReason != tc.wantReason {
+				t.Fatalf("FailReason = %q, want %q", p.FailReason, tc.wantReason)
+			}
+			if p.Degraded != tc.wantDegr {
+				t.Fatalf("Degraded = %v, want %v", p.Degraded, tc.wantDegr)
+			}
+			if tc.wantDegr {
+				if len(p.ScriptErrors) == 0 {
+					t.Fatal("degraded page should report truncated script fetches")
+				}
+				for _, msg := range p.ScriptErrors {
+					if msg == "fetch: truncated response" {
+						return
+					}
+				}
+				t.Fatalf("no truncation error among %v", p.ScriptErrors)
+			}
+		})
+	}
+}
+
+// TestFaultMetricsAndEvents drives a moderately faulty crawl and checks
+// the resilience engine leaves its telemetry trail: retry/refusal/
+// timeout/circuit counters move, every visit files a visit.outcome
+// event, and Stats() agrees with the per-page fields.
+func TestFaultMetricsAndEvents(t *testing.T) {
+	w := testWeb(t)
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	tel := obs.NewTelemetry()
+	cfg := DefaultConfig()
+	cfg.Telemetry = tel
+	cfg.Condition = "control"
+	cfg.Faults = netsim.NewFaultModel(7, 0.3)
+	res := Crawl(w, sites, cfg)
+
+	snap := tel.Metrics.Snapshot()
+	for _, name := range []string{"crawl.retry", "crawl.refused", "crawl.timeout", "crawl.circuit-open"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s stayed zero at 30%% faults", name)
+		}
+	}
+
+	st := res.Stats().Total
+	if st.FailReasons[FailCircuitOpen] == 0 {
+		t.Error("expected circuit-open failures at 30% faults")
+	}
+	if st.Degraded == 0 {
+		t.Error("expected degraded pages at 30% faults")
+	}
+	if got := snap.Counters["crawl.visits.degraded"]; got != int64(st.Degraded) {
+		t.Errorf("degraded counter %d != stats %d", got, st.Degraded)
+	}
+	if st.OK == 0 {
+		t.Fatal("crawl should mostly survive 30% faults")
+	}
+
+	outcomes := 0
+	byVerdict := map[string]int{}
+	for _, e := range tel.Events.Events() {
+		if e.Kind == event.VisitOutcome {
+			outcomes++
+			byVerdict[e.Verdict]++
+		}
+	}
+	if outcomes != len(sites) {
+		t.Fatalf("visit.outcome events = %d, want one per site (%d)", outcomes, len(sites))
+	}
+	if byVerdict["ok"] == 0 || byVerdict["degraded"] == 0 || byVerdict[FailCircuitOpen] == 0 {
+		t.Fatalf("verdict mix missing expected outcomes: %v", byVerdict)
+	}
+	if byVerdict["ok"]+byVerdict["degraded"] != st.OK {
+		t.Fatalf("ok+degraded events %d != OK pages %d", byVerdict["ok"]+byVerdict["degraded"], st.OK)
+	}
+}
+
+// TestFaultFreeCrawlRecordsNoOutcomes guards the bundle byte-identity
+// contract from the event side: without a FaultModel, no visit.outcome
+// events and no fault counters may appear.
+func TestFaultFreeCrawlRecordsNoOutcomes(t *testing.T) {
+	w := testWeb(t)
+	tel := obs.NewTelemetry()
+	cfg := DefaultConfig()
+	cfg.Telemetry = tel
+	Crawl(w, w.CohortSites(web.Popular), cfg)
+	for _, e := range tel.Events.Events() {
+		if e.Kind == event.VisitOutcome {
+			t.Fatal("fault-free crawl recorded a visit.outcome event")
+		}
+	}
+	snap := tel.Metrics.Snapshot()
+	for name := range snap.Counters {
+		switch name {
+		case "crawl.retry", "crawl.timeout", "crawl.refused", "crawl.circuit-open", "crawl.visits.degraded":
+			t.Fatalf("fault-free crawl registered fault counter %s", name)
+		}
+	}
+}
+
+// TestFaultedCrawlDeterministicAcrossWorkers pins that fault decisions
+// depend only on (seed, site), not on worker interleaving.
+func TestFaultedCrawlDeterministicAcrossWorkers(t *testing.T) {
+	w := testWeb(t)
+	sites := w.CohortSites(web.Popular)
+	run := func(workers int) []byte {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Faults = netsim.NewFaultModel(5, 0.25)
+		return marshalPages(t, Crawl(w, sites, cfg))
+	}
+	if string(run(1)) != string(run(8)) {
+		t.Fatal("faulted crawl results depend on worker count")
+	}
+}
+
+// TestFaultedCrawlConcurrentStress exists for the -race build: a wide
+// pool against a heavily faulted web exercises the FaultModel, the
+// fault metrics, and the event sink concurrently.
+func TestFaultedCrawlConcurrentStress(t *testing.T) {
+	w := testWeb(t)
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+	tel := obs.NewTelemetry()
+	cfg := DefaultConfig()
+	cfg.Workers = 32
+	cfg.Telemetry = tel
+	cfg.Condition = "stress"
+	cfg.Faults = netsim.NewFaultModel(13, 0.4)
+	res := Crawl(w, sites, cfg)
+	if len(res.Pages) != len(sites) {
+		t.Fatalf("pages = %d, want %d", len(res.Pages), len(sites))
+	}
+	for i, p := range res.Pages {
+		if p == nil {
+			t.Fatalf("page %d missing", i)
+		}
+		if !p.OK && p.FailReason == "" {
+			t.Fatalf("failed page %s lacks a FailReason", p.Domain)
+		}
+	}
+}

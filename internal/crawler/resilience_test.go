@@ -1,0 +1,73 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+
+	"canvassing/internal/stats"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	base, cap := 500*time.Millisecond, 8*time.Second
+	b := backoff{base: base, cap: cap, rng: stats.NewRNG(9).Fork("backoff:test")}
+	for n := 0; n < 40; n++ {
+		want := cap
+		if n < 5 { // 500ms<<5 = 16s > cap
+			if exp := base << uint(n); exp < cap {
+				want = exp
+			}
+		}
+		d := b.delay(n)
+		if d < want/2 || d > want {
+			t.Fatalf("delay(%d) = %v outside [%v, %v]", n, d, want/2, want)
+		}
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	mk := func() *backoff {
+		return &backoff{base: time.Second, cap: 30 * time.Second,
+			rng: stats.NewRNG(4).Fork("backoff:site.example")}
+	}
+	a, b := mk(), mk()
+	for n := 0; n < 10; n++ {
+		if da, db := a.delay(n), b.delay(n); da != db {
+			t.Fatalf("delay(%d): %v != %v", n, da, db)
+		}
+	}
+}
+
+func TestBackoffDisabled(t *testing.T) {
+	b := backoff{base: 0, cap: time.Second, rng: stats.NewRNG(1).Fork("x")}
+	if d := b.delay(3); d != 0 {
+		t.Fatalf("zero base should mean zero delay, got %v", d)
+	}
+}
+
+func TestBreaker(t *testing.T) {
+	br := breaker{threshold: 3}
+	if br.open() {
+		t.Fatal("fresh breaker open")
+	}
+	br.fail()
+	br.fail()
+	if br.open() {
+		t.Fatal("open below threshold")
+	}
+	br.fail()
+	if !br.open() {
+		t.Fatal("closed at threshold")
+	}
+	br.ok()
+	if br.open() {
+		t.Fatal("success should reset the consecutive count")
+	}
+	// Threshold 0 disables the breaker entirely.
+	off := breaker{}
+	for i := 0; i < 100; i++ {
+		off.fail()
+	}
+	if off.open() {
+		t.Fatal("disabled breaker opened")
+	}
+}

@@ -12,24 +12,61 @@ import (
 type CohortStats struct {
 	// Visited counts all pages attempted, OK/Failed split them.
 	Visited, OK, Failed int
+	// Degraded counts OK pages that loaded partially under fault
+	// injection but still yielded their recorded canvas calls.
+	Degraded int
 	// Extractions totals canvas extraction events on OK pages.
 	Extractions int
 	// BlockedScripts totals extension-blocked script loads.
 	BlockedScripts int
 	// ScriptErrors totals scripts that failed to fetch, parse, or run.
 	ScriptErrors int
+	// FailReasons breaks Failed down by PageResult.FailReason
+	// ("unreachable", "refused", "timeout", "circuit-open").
+	FailReasons map[string]int
 }
 
 func (c *CohortStats) add(p *PageResult) {
 	c.Visited++
 	if p.OK {
 		c.OK++
+		if p.Degraded {
+			c.Degraded++
+		}
 	} else {
 		c.Failed++
+		if p.FailReason != "" {
+			if c.FailReasons == nil {
+				c.FailReasons = map[string]int{}
+			}
+			c.FailReasons[p.FailReason]++
+		}
 	}
 	c.Extractions += len(p.Extractions)
 	c.BlockedScripts += len(p.BlockedScripts)
 	c.ScriptErrors += len(p.ScriptErrors)
+}
+
+// suffix renders the degradation and failure-reason tail of a summary
+// line ("" when the cohort saw neither).
+func (c CohortStats) suffix() string {
+	var sb strings.Builder
+	if c.Degraded > 0 {
+		fmt.Fprintf(&sb, ", degraded %d", c.Degraded)
+	}
+	if len(c.FailReasons) > 0 {
+		reasons := make([]string, 0, len(c.FailReasons))
+		for r := range c.FailReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, 0, len(reasons))
+		for _, r := range reasons {
+			parts = append(parts, fmt.Sprintf("%s %d", r, c.FailReasons[r]))
+		}
+		fmt.Fprintf(&sb, ", failures(%s)", strings.Join(parts, ", "))
+	}
+	return sb.String()
 }
 
 // ResultStats is the crawl-wide failure and yield accounting that
@@ -39,7 +76,8 @@ type ResultStats struct {
 	PerCohort map[web.Cohort]CohortStats
 }
 
-// Stats tallies per-cohort and total page outcomes in one pass.
+// Stats tallies per-cohort and total page outcomes in one pass,
+// including the failure-reason breakdown the resilience engine records.
 func (r *Result) Stats() ResultStats {
 	st := ResultStats{PerCohort: map[web.Cohort]CohortStats{}}
 	for _, p := range r.Pages {
@@ -61,10 +99,10 @@ func (s ResultStats) String() string {
 	sort.Slice(cohorts, func(i, j int) bool { return cohorts[i] < cohorts[j] })
 	for _, c := range cohorts {
 		cs := s.PerCohort[c]
-		fmt.Fprintf(&sb, "%s: ok %d/%d, extractions %d, blocked %d, script-errors %d\n",
-			c, cs.OK, cs.Visited, cs.Extractions, cs.BlockedScripts, cs.ScriptErrors)
+		fmt.Fprintf(&sb, "%s: ok %d/%d, extractions %d, blocked %d, script-errors %d%s\n",
+			c, cs.OK, cs.Visited, cs.Extractions, cs.BlockedScripts, cs.ScriptErrors, cs.suffix())
 	}
-	fmt.Fprintf(&sb, "total: ok %d/%d, extractions %d, blocked %d, script-errors %d",
-		s.Total.OK, s.Total.Visited, s.Total.Extractions, s.Total.BlockedScripts, s.Total.ScriptErrors)
+	fmt.Fprintf(&sb, "total: ok %d/%d, extractions %d, blocked %d, script-errors %d%s",
+		s.Total.OK, s.Total.Visited, s.Total.Extractions, s.Total.BlockedScripts, s.Total.ScriptErrors, s.Total.suffix())
 	return sb.String()
 }

@@ -1,0 +1,192 @@
+// Fault injection: a deterministic model of the Web's failure modes.
+//
+// The paper's crawler lost 3,724 of 20,000 popular and 2,740 of 20,000
+// tail sites to unreachable hosts, timeouts, and bot blocking (§3.1),
+// and reports prevalence over the sites that survived. The simulated
+// substrate is perfectly reliable unless a FaultModel says otherwise;
+// the model assigns each site a seeded fault plan — refusal, latency
+// spikes, truncated loads, flaky-then-healthy sequences, persistent
+// outages — so the crawler's retry/timeout/circuit-breaker machinery
+// exercises against the same failure classes a real crawl meets, while
+// staying bit-for-bit reproducible from the seed.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"canvassing/internal/stats"
+)
+
+// FaultKind classifies a site's planned failure mode.
+type FaultKind uint8
+
+// Fault kinds, in rough order of severity.
+const (
+	// FaultNone marks a healthy site: every attempt succeeds promptly.
+	FaultNone FaultKind = iota
+	// FaultFlaky refuses the first FailCount connection attempts, then
+	// serves normally — the transient errors retries exist for.
+	FaultFlaky
+	// FaultLatency makes the first FailCount attempts pathologically
+	// slow (beyond any sane visit deadline), then recovers.
+	FaultLatency
+	// FaultTruncate serves the page but delivers only a prefix of its
+	// resources — the partially-loaded pages a crawler must not drop.
+	FaultTruncate
+	// FaultOutage refuses every attempt; the site is down for the whole
+	// crawl.
+	FaultOutage
+)
+
+// String names the fault kind for reports and evidence events.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultFlaky:
+		return "flaky"
+	case FaultLatency:
+		return "latency"
+	case FaultTruncate:
+		return "truncate"
+	case FaultOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("faultkind(%d)", uint8(k))
+}
+
+// ErrRefused is the connection-refused failure a FaultModel injects.
+var ErrRefused = errors.New("netsim: connection refused")
+
+// FaultPlan is one site's deterministic failure schedule.
+type FaultPlan struct {
+	Kind FaultKind
+	// FailCount is how many initial attempts fail before the site
+	// recovers (FaultFlaky, FaultLatency).
+	FailCount int
+	// Truncate is the fraction of the page's resources served
+	// (FaultTruncate; 1 everywhere else).
+	Truncate float64
+}
+
+// Attempt is the outcome of one simulated connection attempt.
+type Attempt struct {
+	// Err is nil on success, ErrRefused when the connection failed.
+	Err error
+	// Latency is the virtual wall time the attempt took. The crawler
+	// compares it against its visit deadline; nothing actually sleeps,
+	// so faulted crawls run as fast as healthy ones.
+	Latency time.Duration
+	// Truncate is the fraction of the page's resources served when the
+	// attempt succeeds (1 = the whole page).
+	Truncate float64
+}
+
+// Virtual latency envelopes. Healthy loads land well under the
+// crawler's default 5s deadline; spikes land well over it.
+const (
+	healthyLatencyMin = 100 * time.Millisecond
+	healthyLatencyMax = 900 * time.Millisecond
+	spikeLatencyMin   = 6 * time.Second
+	spikeLatencyMax   = 30 * time.Second
+	refusalLatency    = 50 * time.Millisecond
+)
+
+// FaultModel deterministically assigns fault plans to sites. Every
+// decision derives from (seed, site) via forked stats.RNG substreams,
+// so plans are independent of visit order and worker interleaving, and
+// two models with equal seeds and rates agree on every site. The model
+// is safe for concurrent use by the crawler's worker pool.
+type FaultModel struct {
+	seed uint64
+	rate float64
+
+	mu     sync.RWMutex
+	forced map[string]FaultPlan
+}
+
+// NewFaultModel returns a model that makes rate (clamped to [0,1]) of
+// all sites faulty. A rate of 0 yields FaultNone plans everywhere —
+// useful for proving the resilience engine is an identity on healthy
+// webs.
+func NewFaultModel(seed uint64, rate float64) *FaultModel {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &FaultModel{seed: seed, rate: rate}
+}
+
+// Rate returns the configured fault probability.
+func (m *FaultModel) Rate() float64 { return m.rate }
+
+// Force pins site's plan, overriding the seeded derivation — for tests
+// and what-if experiments that need a specific failure on a specific
+// site.
+func (m *FaultModel) Force(site string, p FaultPlan) {
+	m.mu.Lock()
+	if m.forced == nil {
+		m.forced = map[string]FaultPlan{}
+	}
+	m.forced[site] = p
+	m.mu.Unlock()
+}
+
+// PlanFor returns site's fault plan. The derivation is pure: it never
+// mutates model state, so concurrent workers can ask freely.
+func (m *FaultModel) PlanFor(site string) FaultPlan {
+	m.mu.RLock()
+	p, ok := m.forced[site]
+	m.mu.RUnlock()
+	if ok {
+		return p
+	}
+	rng := stats.NewRNG(m.seed).Fork("fault:" + site)
+	if rng.Float64() >= m.rate {
+		return FaultPlan{Kind: FaultNone, Truncate: 1}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return FaultPlan{Kind: FaultOutage, Truncate: 1}
+	case 1:
+		return FaultPlan{Kind: FaultFlaky, FailCount: 1 + rng.Intn(2), Truncate: 1}
+	case 2:
+		return FaultPlan{Kind: FaultLatency, FailCount: 1 + rng.Intn(2), Truncate: 1}
+	default:
+		return FaultPlan{Kind: FaultTruncate, Truncate: 0.25 + 0.5*rng.Float64()}
+	}
+}
+
+// Attempt simulates the n-th (0-based) connection attempt to site
+// under its plan. Latencies are drawn per (site, attempt) so retries
+// see fresh jitter, deterministically.
+func (m *FaultModel) Attempt(site string, n int) Attempt {
+	plan := m.PlanFor(site)
+	rng := stats.NewRNG(m.seed).Fork(fmt.Sprintf("attempt:%s:%d", site, n))
+	healthy := jitter(rng, healthyLatencyMin, healthyLatencyMax)
+	switch plan.Kind {
+	case FaultOutage:
+		return Attempt{Err: ErrRefused, Latency: refusalLatency}
+	case FaultFlaky:
+		if n < plan.FailCount {
+			return Attempt{Err: ErrRefused, Latency: refusalLatency}
+		}
+	case FaultLatency:
+		if n < plan.FailCount {
+			return Attempt{Latency: jitter(rng, spikeLatencyMin, spikeLatencyMax), Truncate: 1}
+		}
+	case FaultTruncate:
+		return Attempt{Latency: healthy, Truncate: plan.Truncate}
+	}
+	return Attempt{Latency: healthy, Truncate: 1}
+}
+
+// jitter draws a uniform duration in [lo, hi).
+func jitter(rng *stats.RNG, lo, hi time.Duration) time.Duration {
+	return lo + time.Duration(rng.Float64()*float64(hi-lo))
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultModelDeterministic(t *testing.T) {
+	a := NewFaultModel(42, 0.3)
+	b := NewFaultModel(42, 0.3)
+	for i := 0; i < 500; i++ {
+		site := fmt.Sprintf("site%03d.example", i)
+		if a.PlanFor(site) != b.PlanFor(site) {
+			t.Fatalf("plans diverge for %s", site)
+		}
+		for n := 0; n < 4; n++ {
+			if a.Attempt(site, n) != b.Attempt(site, n) {
+				t.Fatalf("attempt %d diverges for %s", n, site)
+			}
+		}
+	}
+	// Re-asking the same model must be stable too (the derivation is pure).
+	if a.PlanFor("site000.example") != a.PlanFor("site000.example") {
+		t.Fatal("PlanFor not stable")
+	}
+}
+
+func TestFaultModelRateBoundaries(t *testing.T) {
+	zero := NewFaultModel(7, 0)
+	one := NewFaultModel(7, 1)
+	for i := 0; i < 200; i++ {
+		site := fmt.Sprintf("s%d.test", i)
+		if p := zero.PlanFor(site); p.Kind != FaultNone || p.Truncate != 1 {
+			t.Fatalf("rate 0 produced %+v for %s", p, site)
+		}
+		if p := one.PlanFor(site); p.Kind == FaultNone {
+			t.Fatalf("rate 1 produced a healthy plan for %s", site)
+		}
+	}
+	if NewFaultModel(7, -3).Rate() != 0 || NewFaultModel(7, 9).Rate() != 1 {
+		t.Fatal("rate not clamped to [0,1]")
+	}
+}
+
+func TestFaultModelKindDistribution(t *testing.T) {
+	m := NewFaultModel(11, 0.5)
+	counts := map[FaultKind]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[m.PlanFor(fmt.Sprintf("d%d.example", i)).Kind]++
+	}
+	healthy := counts[FaultNone]
+	if healthy < n*40/100 || healthy > n*60/100 {
+		t.Fatalf("healthy fraction %d/%d far from rate 0.5", healthy, n)
+	}
+	faulty := n - healthy
+	for _, k := range []FaultKind{FaultOutage, FaultFlaky, FaultLatency, FaultTruncate} {
+		if c := counts[k]; c < faulty/8 || c > faulty/2 {
+			t.Fatalf("kind %s count %d is far from uniform over %d faulty sites", k, c, faulty)
+		}
+	}
+}
+
+// TestFlakySitesRecover pins the property the crawler's default retry
+// budget relies on: flaky and latency plans fail at most 2 attempts.
+func TestFlakySitesRecover(t *testing.T) {
+	m := NewFaultModel(3, 1)
+	for i := 0; i < 1000; i++ {
+		site := fmt.Sprintf("r%d.example", i)
+		p := m.PlanFor(site)
+		switch p.Kind {
+		case FaultFlaky, FaultLatency:
+			if p.FailCount < 1 || p.FailCount > 2 {
+				t.Fatalf("%s: FailCount %d outside [1,2]", site, p.FailCount)
+			}
+			at := m.Attempt(site, p.FailCount)
+			if at.Err != nil || at.Latency > time.Second || at.Truncate != 1 {
+				t.Fatalf("%s: attempt %d did not recover: %+v", site, p.FailCount, at)
+			}
+		case FaultTruncate:
+			if p.Truncate < 0.25 || p.Truncate > 0.75 {
+				t.Fatalf("%s: truncate fraction %v outside [0.25,0.75]", site, p.Truncate)
+			}
+			if at := m.Attempt(site, 0); at.Err != nil || at.Truncate != p.Truncate {
+				t.Fatalf("%s: truncate attempt %+v", site, at)
+			}
+		case FaultOutage:
+			for n := 0; n < 6; n++ {
+				if at := m.Attempt(site, n); at.Err == nil {
+					t.Fatalf("%s: outage attempt %d succeeded", site, n)
+				}
+			}
+		default:
+			t.Fatalf("%s: rate-1 model produced %s", site, p.Kind)
+		}
+	}
+}
+
+func TestFaultModelForce(t *testing.T) {
+	m := NewFaultModel(1, 0)
+	want := FaultPlan{Kind: FaultFlaky, FailCount: 2, Truncate: 1}
+	m.Force("pinned.example", want)
+	if got := m.PlanFor("pinned.example"); got != want {
+		t.Fatalf("forced plan = %+v, want %+v", got, want)
+	}
+	if at := m.Attempt("pinned.example", 0); at.Err == nil {
+		t.Fatal("forced flaky attempt 0 should refuse")
+	}
+	if at := m.Attempt("pinned.example", 2); at.Err != nil {
+		t.Fatal("forced flaky attempt 2 should succeed")
+	}
+	if p := m.PlanFor("other.example"); p.Kind != FaultNone {
+		t.Fatalf("Force leaked onto other sites: %+v", p)
+	}
+}
+
+func TestFaultModelConcurrent(t *testing.T) {
+	m := NewFaultModel(5, 0.4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				site := fmt.Sprintf("c%d.example", i)
+				m.PlanFor(site)
+				m.Attempt(site, i%3)
+				if i%50 == 0 {
+					m.Force(fmt.Sprintf("f%d-%d.example", g, i), FaultPlan{Kind: FaultOutage, Truncate: 1})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{
+		FaultNone: "none", FaultFlaky: "flaky", FaultLatency: "latency",
+		FaultTruncate: "truncate", FaultOutage: "outage", FaultKind(99): "faultkind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("FaultKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

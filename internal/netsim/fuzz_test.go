@@ -1,0 +1,49 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseURL pins the parser's total behavior: no panic on any input,
+// and every accepted URL satisfies the invariants the rest of the
+// pipeline assumes (lowercase host, "/"-rooted path, and a stable
+// String() round trip).
+func FuzzParseURL(f *testing.F) {
+	for _, seed := range []string{
+		"https://example.com/js/app.js",
+		"http://EXAMPLE.com",
+		"https://shop.example.co.uk/a/b?c=d",
+		"wss://x.y/",
+		"://host",
+		"https://",
+		"",
+		"https://host/path%20space",
+		"a://b/c://d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		u, err := ParseURL(s)
+		if err != nil {
+			return
+		}
+		if u.Scheme == "" {
+			t.Fatalf("accepted %q with empty scheme", s)
+		}
+		if u.Host == "" || u.Host != strings.ToLower(u.Host) {
+			t.Fatalf("accepted %q with bad host %q", s, u.Host)
+		}
+		if !strings.HasPrefix(u.Path, "/") {
+			t.Fatalf("accepted %q with unrooted path %q", s, u.Path)
+		}
+		// Reparsing the rendered form must agree with the first parse.
+		u2, err := ParseURL(u.String())
+		if err != nil {
+			t.Fatalf("ParseURL(%q).String() = %q does not reparse: %v", s, u.String(), err)
+		}
+		if u2 != u {
+			t.Fatalf("round trip of %q: %+v != %+v", s, u2, u)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // CLI is the shared observability flag set every binary wires the same
@@ -31,6 +32,32 @@ func BindCLI(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.Trace, "trace", "", "write the span trace as JSON lines to this path")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve live /metrics, /spans, /events, and /debug/pprof on this address during the run")
 	fs.StringVar(&c.OutDir, "outdir", "", "write a run bundle (manifest, metrics, trace, events, reports) to this directory")
+	return c
+}
+
+// FaultCLI is the shared fault-injection flag set the crawling
+// binaries bind alongside CLI: -faults (per-site fault probability),
+// -retries, and -visit-timeout. It is a separate struct so
+// analysis-only binaries don't advertise crawl knobs, and it carries
+// plain values so obs stays dependency-free — callers build the
+// netsim.FaultModel themselves.
+type FaultCLI struct {
+	// Rate is the fraction of sites given a deterministic fault plan
+	// (0 disables injection entirely).
+	Rate float64
+	// Retries is the per-visit retry budget (0 = crawler default).
+	Retries int
+	// VisitTimeout is the virtual per-attempt deadline (0 = default).
+	VisitTimeout time.Duration
+}
+
+// BindFaultCLI registers the fault-injection flags on fs and returns
+// the destination struct.
+func BindFaultCLI(fs *flag.FlagSet) *FaultCLI {
+	c := &FaultCLI{}
+	fs.Float64Var(&c.Rate, "faults", 0, "fraction of sites given a seeded fault plan (0 disables fault injection)")
+	fs.IntVar(&c.Retries, "retries", 0, "visit retry budget under -faults (0 = default 3)")
+	fs.DurationVar(&c.VisitTimeout, "visit-timeout", 0, "virtual per-attempt visit deadline under -faults (0 = default 5s)")
 	return c
 }
 

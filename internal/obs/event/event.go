@@ -6,7 +6,7 @@
 // the per-script evidence trail that makes a detection pipeline
 // auditable (Iqbal et al.; Durey et al.).
 //
-// Five kinds of decision are recorded:
+// Six kinds of decision are recorded:
 //
 //   - detect.classify: one per extracted canvas, naming the failing
 //     heuristic (or "fingerprintable");
@@ -18,7 +18,10 @@
 //     mechanism that fired (demo-hash / known-customer / url-pattern /
 //     url-regexp);
 //   - randomize.verdict: the Algorithm 1 double-render inconsistency
-//     outcome per probed site.
+//     outcome per probed site;
+//   - visit.outcome: how a fault-injected page visit ended (ok,
+//     degraded, refused, timeout, circuit-open, unreachable) and under
+//     which fault plan — recorded only by fault-injected crawls.
 //
 // The wire format (one JSON object per line, schema-versioned via the
 // "v" field) is pinned by a golden test; changing any field name or
@@ -64,6 +67,10 @@ const (
 	// RandomizeVerdict is an Algorithm 1 inconsistency-check outcome
 	// (§5.3).
 	RandomizeVerdict Kind = "randomize.verdict"
+	// VisitOutcome is one fault-injected page visit's final state: the
+	// verdict ("ok", "degraded", or a crawler.Fail* reason), the fault
+	// kind as evidence, and the attempt count as detail.
+	VisitOutcome Kind = "visit.outcome"
 )
 
 // Event is one recorded decision. Fields are flat strings (no maps) so

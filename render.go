@@ -61,6 +61,10 @@ func (s *Study) RenderAll() string {
 	sb.WriteString(s.Table3().Render())
 	sb.WriteByte('\n')
 	sb.WriteString(s.RuleContext().Render())
+	if s.Faults != nil {
+		sb.WriteByte('\n')
+		sb.WriteString(s.CrawlHealth().Render())
+	}
 	return sb.String()
 }
 

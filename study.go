@@ -17,6 +17,7 @@ package canvassing
 
 import (
 	"fmt"
+	"time"
 
 	"canvassing/internal/attrib"
 	"canvassing/internal/blocklist"
@@ -24,6 +25,7 @@ import (
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/machine"
+	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
 	"canvassing/internal/stats"
@@ -45,6 +47,16 @@ type Options struct {
 	WithAdblock bool
 	// WithM1 adds the Apple-silicon validation crawl (§3.1 / E9).
 	WithM1 bool
+	// FaultRate enables deterministic fault injection on every cohort
+	// crawl: the fraction of sites given a seeded fault plan (0
+	// disables, reproducing the pre-resilience pipeline exactly). The
+	// demo ground-truth crawl is exempt — harvesting vendor demo pages
+	// is the researcher's controlled environment, not the open Web.
+	FaultRate float64
+	// Retries and VisitTimeout tune the crawler's resilience engine
+	// under FaultRate (zero selects the crawler defaults).
+	Retries      int
+	VisitTimeout time.Duration
 }
 
 // Crawl condition labels used in the evidence event log. Bundle diffs
@@ -86,6 +98,10 @@ type Study struct {
 	M1 *crawler.Result
 	// M1Sites are the analyzed validation pages (cached like ABPSites).
 	M1Sites []detect.SiteCanvases
+	// Faults is the study's fault model (nil unless Options.FaultRate
+	// is positive); every cohort crawl shares it so conditions see the
+	// same per-site fault plans and stay comparable.
+	Faults *netsim.FaultModel
 
 	crawlSites []*web.Site // cohort sites in crawl order
 	tel        *obs.Telemetry
@@ -113,6 +129,9 @@ func New(opts Options) *Study {
 		Web:     w,
 		Lists:   blocklist.NewStandardListsWithTrackers(opts.Seed, longtailTrackerCoverage()),
 		tel:     tel,
+	}
+	if opts.FaultRate > 0 {
+		s.Faults = netsim.NewFaultModel(opts.Seed, opts.FaultRate)
 	}
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
@@ -143,6 +162,13 @@ func (s *Study) crawlConfig(condition string) crawler.Config {
 	cfg.Seed = s.Options.Seed
 	cfg.Telemetry = s.tel
 	cfg.Condition = condition
+	// Every cohort crawl contends with the same fault plans; the demo
+	// ground-truth harvest runs fault-free (see Options.FaultRate).
+	if condition != CondDemo {
+		cfg.Faults = s.Faults
+		cfg.Retries = s.Options.Retries
+		cfg.VisitTimeout = s.Options.VisitTimeout
+	}
 	return cfg
 }
 
