@@ -13,10 +13,11 @@ test:
 	$(GO) test ./...
 
 # The crawler worker pool, the obs registry, the evidence event sink,
-# the fault model, and the bundle layer are the places goroutines share
-# state; hammer them under the race detector.
+# the fault model, the bundle layer, and the parallel analysis
+# executor + memo cache (with detect underneath it) are the places
+# goroutines share state; hammer them under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect
 
 vet:
 	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"canvassing/internal/analysis"
 	"canvassing/internal/bundle"
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
@@ -63,9 +64,12 @@ func main() {
 	}
 	tel.Metrics.Counter("analyze.pages").Add(int64(len(pages)))
 
-	sp = tel.Tracer.Start("detect")
-	sites := detect.AnalyzeAllEvents(pages, tel.Events, "control")
-	sp.End()
+	aw := cli.AnalysisWorkers
+	if aw <= 0 {
+		aw = 8
+	}
+	ex := analysis.NewExecutor(aw, analysis.NewCache(tel.Metrics), tel)
+	sites := ex.AnalyzeAll(pages, tel.Events, "control")
 	t := report.NewTable("Prevalence", "cohort", "crawled-ok", "fp-sites", "prevalence", "yield")
 	for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
 		var sub []detect.SiteCanvases

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"canvassing/internal/adblock"
+	"canvassing/internal/analysis"
 	"canvassing/internal/blocklist"
 	"canvassing/internal/bundle"
 	"canvassing/internal/crawler"
@@ -103,7 +104,7 @@ func main() {
 	}
 
 	if *sweep != "" {
-		if err := runFaultSweep(w, sites, cfg, *seed, *sweep, fcli); err != nil {
+		if err := runFaultSweep(w, sites, cfg, *seed, *sweep, cli, fcli); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -159,7 +160,7 @@ func main() {
 // runFaultSweep crawls the same site list once per requested fault rate
 // (fresh telemetry each run, same seed) and prints how resilience and
 // measured prevalence respond as the network degrades.
-func runFaultSweep(w *web.Web, sites []*web.Site, base crawler.Config, seed uint64, spec string, fcli *obs.FaultCLI) error {
+func runFaultSweep(w *web.Web, sites []*web.Site, base crawler.Config, seed uint64, spec string, cli *obs.CLI, fcli *obs.FaultCLI) error {
 	var rates []float64
 	for _, f := range strings.Split(spec, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -181,7 +182,12 @@ func runFaultSweep(w *web.Web, sites []*web.Site, base crawler.Config, seed uint
 		}
 		res := crawler.Crawl(w, sites, cfg)
 		st := res.Stats().Total
-		ds := detect.ComputeStats(detect.AnalyzeAll(res.Pages))
+		aw := cli.AnalysisWorkers
+		if aw <= 0 {
+			aw = cfg.Workers
+		}
+		ex := analysis.NewExecutor(aw, analysis.NewCache(cfg.Telemetry.Metrics), cfg.Telemetry)
+		ds := detect.ComputeStats(ex.AnalyzeAll(res.Pages, nil, cfg.Condition))
 		snap := cfg.Telemetry.Metrics.Snapshot()
 		t.AddRow(fmt.Sprintf("%.0f%%", rate*100),
 			fmt.Sprint(st.OK), fmt.Sprint(st.Degraded), fmt.Sprint(st.Failed),

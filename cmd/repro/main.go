@@ -42,7 +42,7 @@ func main() {
 		emit(canvassing.EntropyAnalysis(48, *seed).Render(), *out)
 		return
 	case "inner", "ex2":
-		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers})
+		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers, AnalysisWorkers: cli.AnalysisWorkers})
 		text := s.InnerPages().Render()
 		if cli.Metrics {
 			text += "\n" + s.TelemetryReport()
@@ -55,14 +55,15 @@ func main() {
 	// Build the study in stages (rather than canvassing.Run) so the
 	// debug endpoint is live while the crawls execute.
 	s := canvassing.New(canvassing.Options{
-		Seed:         *seed,
-		Scale:        *scale,
-		Workers:      *workers,
-		WithAdblock:  true,
-		WithM1:       true,
-		FaultRate:    fcli.Rate,
-		Retries:      fcli.Retries,
-		VisitTimeout: fcli.VisitTimeout,
+		Seed:            *seed,
+		Scale:           *scale,
+		Workers:         *workers,
+		AnalysisWorkers: cli.AnalysisWorkers,
+		WithAdblock:     true,
+		WithM1:          true,
+		FaultRate:       fcli.Rate,
+		Retries:         fcli.Retries,
+		VisitTimeout:    fcli.VisitTimeout,
 	})
 	cli.StartPprof(s.Telemetry())
 	s.RunControl()

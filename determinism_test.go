@@ -1,0 +1,152 @@
+package canvassing
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"canvassing/internal/bundle"
+)
+
+// The determinism oracle: the parallel analysis pipeline must be
+// invisible in every serialized artifact. For each seed the serial
+// pipeline (AnalysisWorkers=1) writes a reference bundle, and the
+// parallel pipeline at widths {2, 8, 32} must reproduce it exactly —
+// manifest.json and events.jsonl byte for byte, and metrics.json in
+// its deterministic projection (counters, gauges, histogram counts;
+// histogram sums/extremes/buckets are wall-clock and vary between ANY
+// two runs, serial ones included — see bundle.DeterministicMetrics).
+// Two of the seeds crawl under fault injection so the oracle covers
+// degraded pages, retries, and visit.outcome events.
+//
+// The crawl pool is pinned to one worker: crawl-side event order and
+// parse-cache counters are only deterministic on a serial crawl
+// (documented in telemetry_golden_test.go), and this oracle isolates
+// the ANALYSIS pool, which is the axis that must not leak.
+//
+// This test runs in the default `go test ./...` sweep and therefore
+// joins `make check`.
+
+// oracleCase pairs a seed with a fault rate; nonzero rates must
+// produce degraded pages or the fault half of the oracle is vacuous.
+type oracleCase struct {
+	seed  uint64
+	fault float64
+}
+
+// Rates are chosen per seed so the crawl actually produces degraded
+// (truncated-but-partially-loaded) pages, which are rare at this
+// scale: plans that truncate AND leave surviving scripts need a high
+// plan rate to show up in an 800-site web.
+var oracleCases = []oracleCase{
+	{seed: 1, fault: 0},
+	{seed: 7, fault: 0.5},
+	{seed: 42, fault: 0.35},
+}
+
+var oracleWidths = []int{2, 8, 32}
+
+// oracleBundle runs the full pipeline (control + adblock re-crawls +
+// every experiment the bundle's report.txt triggers) at the given
+// analysis width and writes its bundle to a temp dir.
+func oracleBundle(t *testing.T, c oracleCase, analysisWorkers int) (string, *Study) {
+	t.Helper()
+	s := Run(Options{
+		Seed:            c.seed,
+		Scale:           0.02,
+		Workers:         1,
+		AnalysisWorkers: analysisWorkers,
+		WithAdblock:     true,
+		FaultRate:       c.fault,
+	})
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := s.WriteBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, s
+}
+
+// readFile loads one bundle artifact.
+func readFile(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// deterministicMetrics loads a bundle's metrics.json and projects it.
+func deterministicMetrics(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := bundle.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bundle.DeterministicMetrics(b.Metrics)
+}
+
+func TestAnalysisDeterminismOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline 12 times")
+	}
+	for _, c := range oracleCases {
+		refDir, refStudy := oracleBundle(t, c, 1)
+		refManifest := readFile(t, refDir, "manifest.json")
+		refEvents := readFile(t, refDir, "events.jsonl")
+		refReport := readFile(t, refDir, "report.txt")
+		refMetrics := deterministicMetrics(t, refDir)
+		if len(refEvents) == 0 {
+			t.Fatalf("seed %d: serial reference recorded no events", c.seed)
+		}
+		if c.fault > 0 {
+			// The faulted seeds must actually exercise degradation, or
+			// this oracle proves nothing about the resilience path.
+			if st := refStudy.Control.Stats().Total; st.Degraded == 0 || st.Failed == 0 {
+				t.Fatalf("seed %d rate %.2f: no degraded/failed pages (degraded=%d failed=%d)",
+					c.seed, c.fault, st.Degraded, st.Failed)
+			}
+		}
+		if hits := refStudy.Analysis().Cache().Hits(); hits == 0 {
+			t.Fatalf("seed %d: memo cache never hit across re-analyses", c.seed)
+		}
+		for _, w := range oracleWidths {
+			dir, s := oracleBundle(t, c, w)
+			if got := readFile(t, dir, "manifest.json"); !bytes.Equal(got, refManifest) {
+				t.Errorf("seed %d width %d: manifest.json differs from serial\n got: %s\nwant: %s",
+					c.seed, w, got, refManifest)
+			}
+			if got := readFile(t, dir, "events.jsonl"); !bytes.Equal(got, refEvents) {
+				t.Errorf("seed %d width %d: events.jsonl differs from serial (%d vs %d bytes); first divergence at byte %d",
+					c.seed, w, len(got), len(refEvents), firstDiff(got, refEvents))
+			}
+			if got := deterministicMetrics(t, dir); !bytes.Equal(got, refMetrics) {
+				t.Errorf("seed %d width %d: deterministic metrics differ from serial\n got: %s\nwant: %s",
+					c.seed, w, got, refMetrics)
+			}
+			// report.txt carries every rendered experiment; it has no
+			// wall-clock content, so it must reproduce too.
+			if got := readFile(t, dir, "report.txt"); !bytes.Equal(got, refReport) {
+				t.Errorf("seed %d width %d: report.txt differs from serial", c.seed, w)
+			}
+			if s.Analysis().Workers() != w {
+				t.Fatalf("width %d: executor reports %d workers", w, s.Analysis().Workers())
+			}
+		}
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

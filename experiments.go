@@ -298,13 +298,13 @@ func (s *Study) Table2() (Table2Result, error) {
 		return Table2Result{}, fmt.Errorf("canvassing: Table2 requires RunAdblock (set Options.WithAdblock)")
 	}
 	if s.Sites == nil {
-		s.Sites = detect.AnalyzeAllEvents(s.Control.Pages, s.events(), CondControl)
+		s.Sites = s.analyzeAll(s.Control.Pages, CondControl)
 	}
 	if s.ABPSites == nil {
-		s.ABPSites = detect.AnalyzeAllEvents(s.ABP.Pages, s.events(), CondABP)
+		s.ABPSites = s.analyzeAll(s.ABP.Pages, CondABP)
 	}
 	if s.UBOSites == nil {
-		s.UBOSites = detect.AnalyzeAllEvents(s.UBO.Pages, s.events(), CondUBO)
+		s.UBOSites = s.analyzeAll(s.UBO.Pages, CondUBO)
 	}
 	var res Table2Result
 	for _, cond := range []struct {
@@ -630,11 +630,11 @@ func (s *Study) CrossMachine() (CrossMachineResult, error) {
 	var r CrossMachineResult
 	intelSites := s.Sites
 	if intelSites == nil {
-		intelSites = detect.AnalyzeAllEvents(s.Control.Pages, s.events(), CondControl)
+		intelSites = s.analyzeAll(s.Control.Pages, CondControl)
 		s.Sites = intelSites
 	}
 	if s.M1Sites == nil {
-		s.M1Sites = detect.AnalyzeAllEvents(s.M1.Pages, s.events(), CondM1)
+		s.M1Sites = s.analyzeAll(s.M1.Pages, CondM1)
 	}
 	m1Sites := s.M1Sites
 	// Assign group labels per machine in first-seen order; the event

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"canvassing/internal/crawler"
-	"canvassing/internal/detect"
 	"canvassing/internal/entropy"
 	"canvassing/internal/report"
 	"canvassing/internal/services"
@@ -49,7 +48,7 @@ func (s *Study) InnerPages() InnerPagesResult {
 	cfg := s.crawlConfig(CondInner)
 	cfg.VisitInnerPages = true
 	res := crawler.Crawl(s.Web, s.crawlSites, cfg)
-	for _, sc := range detect.AnalyzeAllEvents(res.Pages, s.events(), CondInner) {
+	for _, sc := range s.analyzeAll(res.Pages, CondInner) {
 		if !sc.OK || !sc.HasFingerprinting() {
 			continue
 		}

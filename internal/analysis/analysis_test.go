@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"canvassing/internal/canvas"
+	"canvassing/internal/crawler"
+	"canvassing/internal/detect"
+	"canvassing/internal/machine"
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
+	"canvassing/internal/web"
+)
+
+// dataURL renders a w×h canvas — distinct dimensions give distinct
+// payloads and therefore distinct memo keys.
+func dataURL(w, h int) string {
+	e := canvas.New(machine.Intel())
+	e.SetWidth(w)
+	e.SetHeight(h)
+	ctx := e.GetContext("2d")
+	ctx.SetFillStyle("#a1b2c3")
+	ctx.FillRect(0, 0, float64(w), float64(h))
+	return e.ToDataURL("", 0)
+}
+
+// testPages builds n synthetic crawled pages. Every page extracts one
+// canvas shared across the whole set (the "popular fingerprinting
+// script" case the memo cache exists for), one of a handful of
+// rotating payloads, and every third page adds a unique payload plus
+// an animation-script extraction.
+func testPages(n int) []*crawler.PageResult {
+	shared := dataURL(200, 60)
+	rotating := []string{dataURL(100, 40), dataURL(120, 40), dataURL(140, 40), dataURL(160, 40)}
+	pages := make([]*crawler.PageResult, n)
+	for i := 0; i < n; i++ {
+		p := &crawler.PageResult{
+			Domain: fmt.Sprintf("site%04d.example", i),
+			Rank:   i + 1,
+			Cohort: web.Popular,
+			OK:     true,
+			ScriptMethods: map[string]map[string]bool{
+				"https://cdn.example/anim.js": {"save": true, "restore": true},
+			},
+		}
+		p.Extractions = append(p.Extractions,
+			crawler.Extraction{ScriptURL: "https://cdn.example/fp.js", DataURL: shared},
+			crawler.Extraction{ScriptURL: "https://cdn.example/fp2.js", DataURL: rotating[i%len(rotating)]},
+		)
+		if i%3 == 0 {
+			p.Extractions = append(p.Extractions,
+				crawler.Extraction{ScriptURL: "https://cdn.example/unique.js", DataURL: dataURL(30+i, 30)},
+				crawler.Extraction{ScriptURL: "https://cdn.example/anim.js", DataURL: shared},
+			)
+		}
+		pages[i] = p
+	}
+	return pages
+}
+
+// TestParallelMatchesSerial is the package-level half of the
+// determinism oracle: for several widths, the executor's results AND
+// its merged event log must equal a serial detect.AnalyzeAllEvents
+// run, event for event including sequence numbers.
+func TestParallelMatchesSerial(t *testing.T) {
+	pages := testPages(101)
+	serialSink := event.NewSink(0)
+	want := detect.AnalyzeAllEvents(pages, serialSink, "control")
+	wantEvents := serialSink.Events()
+	if len(wantEvents) == 0 {
+		t.Fatal("fixture produced no events")
+	}
+	for _, workers := range []int{1, 2, 8, 32} {
+		for _, withCache := range []bool{false, true} {
+			var cache *Cache
+			if withCache {
+				cache = NewCache(nil)
+			}
+			sink := event.NewSink(0)
+			ex := NewExecutor(workers, cache, nil)
+			got := ex.AnalyzeAll(pages, sink, "control")
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d cache=%v: results differ from serial", workers, withCache)
+			}
+			if !reflect.DeepEqual(sink.Events(), wantEvents) {
+				t.Fatalf("workers=%d cache=%v: merged event log differs from serial", workers, withCache)
+			}
+		}
+	}
+}
+
+// TestCacheCountersDeterministic pins the singleflight accounting:
+// hit/miss totals depend only on the key multiset, never on worker
+// width or scheduling.
+func TestCacheCountersDeterministic(t *testing.T) {
+	pages := testPages(90)
+	distinct := map[detect.MemoKey]bool{}
+	lookups := 0
+	for _, p := range pages {
+		anim := map[string]bool{}
+		for url, m := range p.ScriptMethods {
+			if m["save"] {
+				anim[url] = true
+			}
+		}
+		for _, e := range p.Extractions {
+			distinct[detect.MemoKey{Hash: detect.HashDataURL(e.DataURL), Anim: anim[e.ScriptURL]}] = true
+			lookups++
+		}
+	}
+	for _, workers := range []int{1, 2, 8, 32} {
+		cache := NewCache(obs.NewRegistry())
+		ex := NewExecutor(workers, cache, nil)
+		ex.AnalyzeAll(pages, nil, "control")
+		if got, want := cache.Misses(), int64(len(distinct)); got != want {
+			t.Fatalf("workers=%d: misses=%d, want %d (distinct keys)", workers, got, want)
+		}
+		if got, want := cache.Hits(), int64(lookups-len(distinct)); got != want {
+			t.Fatalf("workers=%d: hits=%d, want %d", workers, got, want)
+		}
+		if cache.Len() != len(distinct) {
+			t.Fatalf("workers=%d: cache len=%d, want %d", workers, cache.Len(), len(distinct))
+		}
+	}
+}
+
+// TestCacheCountersInRegistry checks the obs wiring: the counters land
+// in the registry snapshot under the documented names.
+func TestCacheCountersInRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := NewCache(reg)
+	ex := NewExecutor(4, cache, nil)
+	ex.AnalyzeAll(testPages(20), nil, "control")
+	snap := reg.Snapshot()
+	if snap.Counters["analysis.cache.misses"] == 0 {
+		t.Fatal("analysis.cache.misses not in registry")
+	}
+	if snap.Counters["analysis.cache.hits"] == 0 {
+		t.Fatal("analysis.cache.hits not in registry")
+	}
+	if snap.Counters["analysis.cache.hits"] != cache.Hits() {
+		t.Fatal("registry and cache disagree")
+	}
+}
+
+// TestCacheSingleflight hammers one key from many goroutines: compute
+// must run exactly once, everyone must see its verdict, and the
+// counters must read 1 miss / N-1 hits.
+func TestCacheSingleflight(t *testing.T) {
+	cache := NewCache(nil)
+	key := detect.MemoKey{Hash: "deadbeef", Anim: false}
+	var computes atomic.Int64
+	const goroutines = 64
+	var wg sync.WaitGroup
+	results := make([]detect.Verdict, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = cache.GetOrCompute(key, func() detect.Verdict {
+				computes.Add(1)
+				return detect.Verdict{Fingerprintable: true, W: 42, H: 42}
+			})
+		}(i)
+	}
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times", computes.Load())
+	}
+	for i, v := range results {
+		if !v.Fingerprintable || v.W != 42 {
+			t.Fatalf("goroutine %d saw wrong verdict: %+v", i, v)
+		}
+	}
+	if cache.Misses() != 1 || cache.Hits() != goroutines-1 {
+		t.Fatalf("counters: %d misses / %d hits, want 1 / %d", cache.Misses(), cache.Hits(), goroutines-1)
+	}
+}
+
+// TestRunStats checks the per-condition breakdown the telemetry report
+// renders.
+func TestRunStats(t *testing.T) {
+	ex := NewExecutor(2, NewCache(nil), nil)
+	pages := testPages(10)
+	ex.AnalyzeAll(pages, nil, "control")
+	ex.AnalyzeAll(pages, nil, "abp")
+	runs := ex.Runs()
+	if len(runs) != 2 || runs[0].Crawl != "control" || runs[1].Crawl != "abp" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0].Pages != 10 || runs[0].Canvases == 0 || runs[0].Shards == 0 {
+		t.Fatalf("run stats empty: %+v", runs[0])
+	}
+	if runs[0].Workers != 2 {
+		t.Fatalf("workers = %d", runs[0].Workers)
+	}
+}
+
+// TestEmptyAndTinyInputs exercises the shard-sizing edges: zero pages,
+// one page, fewer pages than workers.
+func TestEmptyAndTinyInputs(t *testing.T) {
+	ex := NewExecutor(8, NewCache(nil), nil)
+	if got := ex.AnalyzeAll(nil, event.NewSink(0), "control"); len(got) != 0 {
+		t.Fatalf("nil pages → %d results", len(got))
+	}
+	for _, n := range []int{1, 3, 7} {
+		pages := testPages(n)
+		sink := event.NewSink(0)
+		got := ex.AnalyzeAll(pages, sink, "control")
+		want := detect.AnalyzeAllEvents(pages, nil, "control")
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: results differ from serial", n)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"canvassing/internal/detect"
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
+)
+
+// TestConcurrentCohortAnalysesRace mirrors the study's worst case for
+// the race detector: several cohort analyses running at once on wide
+// executors, all sharing one memo cache and one registry (the study
+// itself serializes cohorts, but the cache and executor must not
+// depend on that). Every cohort's merged event log must still match a
+// serial run, and the shared counters must still add up.
+func TestConcurrentCohortAnalysesRace(t *testing.T) {
+	pages := testPages(60)
+	want := detect.AnalyzeAllEvents(pages, nil, "")
+	wantEvents := func(cond string) []event.Event {
+		s := event.NewSink(0)
+		detect.AnalyzeAllEvents(pages, s, cond)
+		return s.Events()
+	}
+
+	reg := obs.NewRegistry()
+	cache := NewCache(reg)
+	conds := []string{"control", "abp", "ubo", "m1", "inner", "demo"}
+	var wg sync.WaitGroup
+	type res struct {
+		sites  []detect.SiteCanvases
+		events []event.Event
+	}
+	results := make([]res, len(conds))
+	for i, cond := range conds {
+		wg.Add(1)
+		go func(i int, cond string) {
+			defer wg.Done()
+			ex := NewExecutor(8, cache, nil)
+			sink := event.NewSink(0)
+			sites := ex.AnalyzeAll(pages, sink, cond)
+			results[i] = res{sites: sites, events: sink.Events()}
+		}(i, cond)
+	}
+	wg.Wait()
+
+	for i, cond := range conds {
+		if !reflect.DeepEqual(results[i].sites, want) {
+			t.Fatalf("cond %s: results differ from serial", cond)
+		}
+		if !reflect.DeepEqual(results[i].events, wantEvents(cond)) {
+			t.Fatalf("cond %s: event log differs from serial", cond)
+		}
+	}
+	// Shared-cache accounting: misses = distinct keys (computed once
+	// across ALL cohorts), hits = total lookups - misses.
+	lookups := 0
+	for _, p := range pages {
+		lookups += len(p.Extractions)
+	}
+	lookups *= len(conds)
+	if int64(cache.Len()) != cache.Misses() {
+		t.Fatalf("cache len %d != misses %d", cache.Len(), cache.Misses())
+	}
+	if cache.Hits()+cache.Misses() != int64(lookups) {
+		t.Fatalf("hits+misses = %d, want %d lookups", cache.Hits()+cache.Misses(), lookups)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["analysis.cache.hits"] != cache.Hits() || snap.Counters["analysis.cache.misses"] != cache.Misses() {
+		t.Fatal("registry counters out of sync with cache")
+	}
+}
+
+// TestCacheStressRace pounds the cache itself: many goroutines, a
+// small hot key set, interleaved with cold keys.
+func TestCacheStressRace(t *testing.T) {
+	cache := NewCache(nil)
+	keys := make([]detect.MemoKey, 32)
+	for i := range keys {
+		keys[i] = detect.MemoKey{Hash: dataURL(20+i, 20), Anim: i%2 == 0}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := keys[(g*7+i)%len(keys)]
+				v := cache.GetOrCompute(k, func() detect.Verdict {
+					return detect.Verdict{W: len(k.Hash), Fingerprintable: !k.Anim}
+				})
+				if v.W != len(k.Hash) || v.Fingerprintable == k.Anim {
+					t.Errorf("wrong verdict for key %v: %+v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Misses() != int64(len(keys)) {
+		t.Fatalf("misses = %d, want %d", cache.Misses(), len(keys))
+	}
+	if cache.Hits() != int64(16*400-len(keys)) {
+		t.Fatalf("hits = %d, want %d", cache.Hits(), 16*400-len(keys))
+	}
+}

@@ -1,0 +1,39 @@
+package bundle
+
+import (
+	"encoding/json"
+
+	"canvassing/internal/obs"
+)
+
+// deterministicMetrics is the seed-reproducible projection of a
+// metrics snapshot. encoding/json sorts map keys, so Marshal of this
+// struct is canonical.
+type deterministicMetrics struct {
+	Counters        map[string]int64 `json:"counters"`
+	Gauges          map[string]int64 `json:"gauges"`
+	HistogramCounts map[string]int64 `json:"histogram_counts"`
+}
+
+// DeterministicMetrics renders the deterministic projection of a
+// metrics snapshot: counters and gauges verbatim, histograms reduced
+// to their observation counts. Histogram sums, extremes, and bucket
+// fills carry wall-clock timings, which differ between any two runs —
+// everything else in metrics.json is a pure function of the seed, and
+// the determinism oracle compares exactly this projection.
+func DeterministicMetrics(s obs.Snapshot) []byte {
+	d := deterministicMetrics{
+		Counters:        s.Counters,
+		Gauges:          s.Gauges,
+		HistogramCounts: map[string]int64{},
+	}
+	for name, h := range s.Histograms {
+		d.HistogramCounts[name] = h.Count
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		// A map[string]int64 cannot fail to marshal.
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package bundle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"canvassing/internal/obs"
+)
+
+// TestDeterministicMetricsProjection pins what the determinism oracle
+// compares: counters and gauges survive verbatim, histograms are
+// reduced to observation counts, and wall-clock payloads (sum, min,
+// max, bucket fills) are dropped.
+func TestDeterministicMetricsProjection(t *testing.T) {
+	mk := func(sum float64) obs.Snapshot {
+		reg := obs.NewRegistry()
+		reg.Counter("c.a").Add(3)
+		reg.Gauge("g.b").Set(7)
+		h := reg.Histogram("h.lat", obs.LatencyBuckets())
+		h.Observe(sum)
+		h.Observe(sum / 2)
+		return reg.Snapshot()
+	}
+	// Same observation counts, different observed values: the
+	// projection must be identical.
+	a := DeterministicMetrics(mk(0.5))
+	b := DeterministicMetrics(mk(4.25))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("projection leaked wall-clock payload:\n%s\nvs\n%s", a, b)
+	}
+	s := string(a)
+	for _, want := range []string{`"c.a": 3`, `"g.b": 7`, `"h.lat": 2`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("projection missing %q:\n%s", want, s)
+		}
+	}
+	for _, banned := range []string{"sum", "buckets", "min", "max"} {
+		if strings.Contains(s, banned) {
+			t.Fatalf("projection kept volatile field %q:\n%s", banned, s)
+		}
+	}
+	// Different counts must differ.
+	reg := obs.NewRegistry()
+	reg.Counter("c.a").Add(4)
+	if bytes.Equal(a, DeterministicMetrics(reg.Snapshot())) {
+		t.Fatal("projection failed to distinguish different counters")
+	}
+}

@@ -124,7 +124,17 @@ func build(sites []detect.SiteCanvases) *Clustering {
 			}
 		}
 	}
-	for _, g := range cl.byHash {
+	// Finalize groups over a sorted hash slice, not the byHash map:
+	// map iteration order varies run to run, and although the final
+	// sort below breaks most ties, determinism of the group slice must
+	// hold by construction, not by the tiebreak happening to be total.
+	hashes := make([]string, 0, len(cl.byHash))
+	for h := range cl.byHash {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		g := cl.byHash[h]
 		for _, cohort := range []web.Cohort{web.Popular, web.Tail, web.Demo} {
 			sort.Strings(g.Sites[cohort])
 		}

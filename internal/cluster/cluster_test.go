@@ -1,10 +1,14 @@
 package cluster
 
 import (
+	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/web"
 )
 
@@ -206,5 +210,44 @@ func TestEndToEndClustering(t *testing.T) {
 	cf := float64(checking) / float64(total)
 	if cf < 0.2 || cf > 0.8 {
 		t.Fatalf("inconsistency-check fraction = %.2f, want ~0.45", cf)
+	}
+}
+
+// TestBuildDeterministicFinalization pins that group finalization no
+// longer depends on map iteration order: groups tied on popular-site
+// count must come out hash-sorted, and the cluster.assign event
+// sequence must be identical across repeated builds of the same input.
+// Before the sorted-hash-slice fix, build() walked cl.byHash directly
+// and only the final tiebreak — not construction — kept order stable.
+func TestBuildDeterministicFinalization(t *testing.T) {
+	// 40 single-site groups: every group ties at one popular site, so
+	// ordering rests entirely on the hash tiebreak.
+	var sites []detect.SiteCanvases
+	for i := 0; i < 40; i++ {
+		sites = append(sites, fakeSite(fmt.Sprintf("s%02d.com", i), web.Popular, fmt.Sprintf("h%02d", 39-i)))
+	}
+	var refOrder []string
+	var refEvents []event.Event
+	for trial := 0; trial < 20; trial++ {
+		sink := event.NewSink(0)
+		cl := BuildEvents(sites, sink)
+		var order []string
+		for _, g := range cl.Groups {
+			order = append(order, g.Hash)
+		}
+		if !sort.StringsAreSorted(order) {
+			t.Fatalf("trial %d: tied groups not hash-sorted: %v", trial, order)
+		}
+		evs := sink.Events()
+		if trial == 0 {
+			refOrder, refEvents = order, evs
+			continue
+		}
+		if !reflect.DeepEqual(order, refOrder) {
+			t.Fatalf("trial %d: group order drifted:\n got %v\nwant %v", trial, order, refOrder)
+		}
+		if !reflect.DeepEqual(evs, refEvents) {
+			t.Fatalf("trial %d: cluster.assign event sequence drifted", trial)
+		}
 	}
 }

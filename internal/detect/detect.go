@@ -103,6 +103,38 @@ func (s *SiteCanvases) FullyExcluded() bool {
 	return len(s.All) > 0 && !s.HasFingerprinting()
 }
 
+// Verdict is the memoizable product of classification: everything the
+// §3.2 heuristics derive from a canvas payload plus the extracting
+// script's animation flag. It carries no page identity, which is what
+// makes it safe to share across sites, conditions, and cohorts.
+type Verdict struct {
+	Format          imaging.Format
+	W, H            int
+	Fingerprintable bool
+	Exclude         Reason
+}
+
+// MemoKey identifies one classification by content: the canvas hash
+// (which already encodes any machine- or blocker-induced rendering
+// difference) plus the animation flag the extracting script
+// contributes. Two extractions with equal keys always classify
+// identically.
+type MemoKey struct {
+	// Hash is HashDataURL of the extracted payload.
+	Hash string
+	// Anim is whether the extracting script also used animation
+	// methods (heuristic 3).
+	Anim bool
+}
+
+// Memo is a verdict cache consulted by AnalyzePageMemo. GetOrCompute
+// must return compute()'s result for a key the first time it is asked
+// and the cached verdict afterwards; implementations decide the
+// concurrency story (internal/analysis provides a singleflight one).
+type Memo interface {
+	GetOrCompute(key MemoKey, compute func() Verdict) Verdict
+}
+
 // AnalyzePage classifies every extraction of one crawled page.
 func AnalyzePage(p *crawler.PageResult) SiteCanvases {
 	return AnalyzePageEvents(p, nil, "")
@@ -111,7 +143,16 @@ func AnalyzePage(p *crawler.PageResult) SiteCanvases {
 // AnalyzePageEvents is AnalyzePage with decision provenance: every
 // classification verdict is recorded to sink (nil disables) under the
 // given crawl condition label, naming the failing heuristic.
-func AnalyzePageEvents(p *crawler.PageResult, sink *event.Sink, crawl string) SiteCanvases {
+func AnalyzePageEvents(p *crawler.PageResult, sink event.Recorder, crawl string) SiteCanvases {
+	return AnalyzePageMemo(p, sink, crawl, nil)
+}
+
+// AnalyzePageMemo is AnalyzePageEvents with an optional verdict memo:
+// when memo is non-nil, classification of an already-seen (hash, anim)
+// pair reuses the cached verdict instead of re-decoding the payload.
+// Evidence events are recorded either way — the memo dedupes compute,
+// not provenance.
+func AnalyzePageMemo(p *crawler.PageResult, sink event.Recorder, crawl string, memo Memo) SiteCanvases {
 	out := SiteCanvases{Domain: p.Domain, Rank: p.Rank, Cohort: p.Cohort, OK: p.OK}
 	animScripts := map[string]bool{}
 	for url, methods := range p.ScriptMethods {
@@ -127,7 +168,18 @@ func AnalyzePageEvents(p *crawler.PageResult, sink *event.Sink, crawl string) Si
 			DataURL:   e.DataURL,
 			Hash:      HashDataURL(e.DataURL),
 		}
-		classify(&ci, animScripts[e.ScriptURL])
+		anim := animScripts[e.ScriptURL]
+		var v Verdict
+		if memo != nil {
+			dataURL := e.DataURL
+			v = memo.GetOrCompute(MemoKey{Hash: ci.Hash, Anim: anim}, func() Verdict {
+				return Classify(dataURL, anim)
+			})
+		} else {
+			v = Classify(e.DataURL, anim)
+		}
+		ci.Format, ci.W, ci.H = v.Format, v.W, v.H
+		ci.Fingerprintable, ci.Exclude = v.Fingerprintable, v.Exclude
 		out.All = append(out.All, ci)
 		if sink != nil {
 			verdict, evidence := "fingerprintable", ""
@@ -155,7 +207,7 @@ func AnalyzeAll(pages []*crawler.PageResult) []SiteCanvases {
 
 // AnalyzeAllEvents is AnalyzeAll with decision provenance (see
 // AnalyzePageEvents).
-func AnalyzeAllEvents(pages []*crawler.PageResult, sink *event.Sink, crawl string) []SiteCanvases {
+func AnalyzeAllEvents(pages []*crawler.PageResult, sink event.Recorder, crawl string) []SiteCanvases {
 	out := make([]SiteCanvases, 0, len(pages))
 	for _, p := range pages {
 		out = append(out, AnalyzePageEvents(p, sink, crawl))
@@ -170,39 +222,43 @@ func HashDataURL(u string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// classify applies the three heuristics in order.
-func classify(ci *CanvasInfo, fromAnimScript bool) {
-	format, payload, err := imaging.ParseDataURL(ci.DataURL)
+// Classify applies the three heuristics in order. It is a pure
+// function of the payload and the animation flag — the property the
+// memo cache and the parallel executor both rely on.
+func Classify(dataURL string, fromAnimScript bool) Verdict {
+	var v Verdict
+	format, payload, err := imaging.ParseDataURL(dataURL)
 	if err != nil {
-		ci.Exclude = Undecodable
-		return
+		v.Exclude = Undecodable
+		return v
 	}
-	ci.Format = format
+	v.Format = format
 	switch format {
 	case imaging.PNG:
 		w, h, err := imaging.PNGSize(payload)
 		if err != nil {
-			ci.Exclude = Undecodable
-			return
+			v.Exclude = Undecodable
+			return v
 		}
-		ci.W, ci.H = w, h
+		v.W, v.H = w, h
 	default:
 		// Lossy formats: record dimensions when cheaply available.
 		if img, err := imaging.DecodeWebPSim(payload); err == nil {
-			ci.W, ci.H = img.W, img.H
+			v.W, v.H = img.W, img.H
 		}
-		ci.Exclude = LossyFormat
-		return
+		v.Exclude = LossyFormat
+		return v
 	}
-	if ci.W < minDimension || ci.H < minDimension {
-		ci.Exclude = SmallCanvas
-		return
+	if v.W < minDimension || v.H < minDimension {
+		v.Exclude = SmallCanvas
+		return v
 	}
 	if fromAnimScript {
-		ci.Exclude = AnimationScript
-		return
+		v.Exclude = AnimationScript
+		return v
 	}
-	ci.Fingerprintable = true
+	v.Fingerprintable = true
+	return v
 }
 
 // Stats summarizes detection over a crawl (the §3.2 yield numbers).

@@ -22,6 +22,10 @@ type CLI struct {
 	Pprof string
 	// OutDir is the run-bundle output directory ("" = off).
 	OutDir string
+	// AnalysisWorkers is the post-crawl analysis pool width (0 =
+	// follow the crawler worker count). Any width yields the same
+	// bundle bytes; the knob only trades wall-clock for cores.
+	AnalysisWorkers int
 }
 
 // BindCLI registers the shared observability flags on fs (use
@@ -32,6 +36,7 @@ func BindCLI(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.Trace, "trace", "", "write the span trace as JSON lines to this path")
 	fs.StringVar(&c.Pprof, "pprof", "", "serve live /metrics, /spans, /events, and /debug/pprof on this address during the run")
 	fs.StringVar(&c.OutDir, "outdir", "", "write a run bundle (manifest, metrics, trace, events, reports) to this directory")
+	fs.IntVar(&c.AnalysisWorkers, "analysis-workers", 0, "analysis worker pool width (0 = same as crawler workers; output is identical at any width)")
 	return c
 }
 

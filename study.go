@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"canvassing/internal/analysis"
 	"canvassing/internal/attrib"
 	"canvassing/internal/blocklist"
 	"canvassing/internal/cluster"
@@ -42,6 +43,10 @@ type Options struct {
 	Scale float64
 	// Workers is the crawler pool width (<=0 selects 8).
 	Workers int
+	// AnalysisWorkers is the post-crawl analysis pool width (<=0
+	// selects Workers). Any width produces byte-identical bundles —
+	// the determinism oracle in determinism_test.go enforces it.
+	AnalysisWorkers int
 	// WithAdblock adds the Adblock Plus and uBlock Origin re-crawls
 	// (Table 2 / E5).
 	WithAdblock bool
@@ -105,6 +110,7 @@ type Study struct {
 
 	crawlSites []*web.Site // cohort sites in crawl order
 	tel        *obs.Telemetry
+	analyzer   *analysis.Executor
 	randCache  map[int]RandomizationResult
 }
 
@@ -133,6 +139,14 @@ func New(opts Options) *Study {
 	if opts.FaultRate > 0 {
 		s.Faults = netsim.NewFaultModel(opts.Seed, opts.FaultRate)
 	}
+	aw := opts.AnalysisWorkers
+	if aw <= 0 {
+		aw = opts.Workers
+	}
+	// One executor for the whole study: the memo cache spans the
+	// control analysis and every re-analysis, which is where the
+	// cross-condition verdict reuse comes from.
+	s.analyzer = analysis.NewExecutor(aw, analysis.NewCache(tel.Metrics), tel)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
 	return s
@@ -181,6 +195,18 @@ func (s *Study) events() *event.Sink {
 	return s.tel.Events
 }
 
+// Analysis exposes the study's parallel analysis executor (pool
+// width, memo-cache stats, per-condition run breakdown).
+func (s *Study) Analysis() *analysis.Executor { return s.analyzer }
+
+// analyzeAll routes one crawl's pages through the parallel analysis
+// executor under the given condition label. The executor guarantees
+// the evidence log and metrics are identical to a serial
+// detect.AnalyzeAllEvents call.
+func (s *Study) analyzeAll(pages []*crawler.PageResult, cond string) []detect.SiteCanvases {
+	return s.analyzer.AnalyzeAll(pages, s.events(), cond)
+}
+
 // RunControl performs the control crawl over both cohorts.
 func (s *Study) RunControl() {
 	defer s.tel.Tracer.Start("crawl.control", "sites", fmt.Sprint(len(s.crawlSites))).End()
@@ -192,10 +218,8 @@ func (s *Study) RunControl() {
 // RunControl must have been called.
 func (s *Study) Analyze() {
 	evs := s.events()
-	sp := s.tel.Tracer.Start("detect")
-	s.Sites = detect.AnalyzeAllEvents(s.Control.Pages, evs, CondControl)
-	sp.End()
-	sp = s.tel.Tracer.Start("cluster")
+	s.Sites = s.analyzeAll(s.Control.Pages, CondControl)
+	sp := s.tel.Tracer.Start("cluster")
 	s.Clustering = cluster.BuildEvents(s.Sites, evs)
 	sp.End()
 	sp = s.tel.Tracer.Start("attrib")
@@ -214,13 +238,13 @@ func (s *Study) RunAdblock() {
 	abpCfg := s.crawlConfig(CondABP)
 	abpCfg.Extension = newABP(s.Lists)
 	s.ABP = crawler.Crawl(s.Web, s.crawlSites, abpCfg)
-	s.ABPSites = detect.AnalyzeAllEvents(s.ABP.Pages, s.events(), CondABP)
+	s.ABPSites = s.analyzeAll(s.ABP.Pages, CondABP)
 	abp.End()
 	ubo := sp.StartChild("ubo")
 	uboCfg := s.crawlConfig(CondUBO)
 	uboCfg.Extension = newUBO(s.Lists)
 	s.UBO = crawler.Crawl(s.Web, s.crawlSites, uboCfg)
-	s.UBOSites = detect.AnalyzeAllEvents(s.UBO.Pages, s.events(), CondUBO)
+	s.UBOSites = s.analyzeAll(s.UBO.Pages, CondUBO)
 	ubo.End()
 	sp.End()
 }
@@ -231,7 +255,7 @@ func (s *Study) RunM1() {
 	cfg := s.crawlConfig(CondM1)
 	cfg.Profile = machine.AppleM1()
 	s.M1 = crawler.Crawl(s.Web, s.crawlSites, cfg)
-	s.M1Sites = detect.AnalyzeAllEvents(s.M1.Pages, s.events(), CondM1)
+	s.M1Sites = s.analyzeAll(s.M1.Pages, CondM1)
 }
 
 // longtailTrackerCoverage decides which boutique fingerprinting hosts the

@@ -66,8 +66,13 @@ func TestTelemetryReportGolden(t *testing.T) {
 	}
 
 	// Sanity beyond the byte compare: the masked report still carries
-	// the sections readers rely on.
-	for _, substr := range []string{"Control crawl", "Phase timings", "parse-cache hit rate", "Metrics", "crawl.visits.ok"} {
+	// the sections readers rely on. "Analysis pipeline" and the memo
+	// cache line are the parallel-analysis additions: the table pins
+	// per-condition page/canvas/shard counts and the cache counters,
+	// all deterministic at any worker width.
+	for _, substr := range []string{"Control crawl", "Phase timings", "parse-cache hit rate",
+		"Analysis pipeline", "memo cache", "analysis.cache.hits", "analyze.control",
+		"Metrics", "crawl.visits.ok"} {
 		if !strings.Contains(got, substr) {
 			t.Fatalf("report lost section %q", substr)
 		}

@@ -37,8 +37,9 @@ func TestStudyTelemetry(t *testing.T) {
 		phases[r.Name] = true
 	}
 	for _, want := range []string{
-		"webgen", "crawl.control", "detect", "cluster", "attrib",
-		"groundtruth", "crawl.adblock", "abp", "ubo", "crawl.m1",
+		"webgen", "crawl.control", "analyze.control", "cluster", "attrib",
+		"groundtruth", "crawl.adblock", "abp", "analyze.abp", "ubo",
+		"analyze.ubo", "crawl.m1", "analyze.m1",
 	} {
 		if !phases[want] {
 			t.Fatalf("phase %q has no span; got %v", want, phases)
@@ -49,7 +50,7 @@ func TestStudyTelemetry(t *testing.T) {
 func TestPhaseTimingsRender(t *testing.T) {
 	s := Run(Options{Seed: 7, Scale: 0.01})
 	text := s.PhaseTimings()
-	for _, want := range []string{"Phase timings", "webgen", "crawl.control", "detect", "total"} {
+	for _, want := range []string{"Phase timings", "webgen", "crawl.control", "analyze.control", "total"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("phase table missing %q:\n%s", want, text)
 		}
@@ -60,7 +61,7 @@ func TestPhaseTimingsRender(t *testing.T) {
 	}
 
 	full := s.TelemetryReport()
-	for _, want := range []string{"Control crawl", "parse-cache hit rate", "Metrics", "crawl.visit.seconds"} {
+	for _, want := range []string{"Control crawl", "parse-cache hit rate", "Analysis pipeline", "memo cache", "Metrics", "crawl.visit.seconds"} {
 		if !strings.Contains(full, want) {
 			t.Fatalf("telemetry report missing %q:\n%s", want, full)
 		}
