@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench
+.PHONY: build test race vet fuzz-smoke check bench resume-smoke
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,12 @@ test:
 	$(GO) test ./...
 
 # The crawler worker pool, the obs registry, the evidence event sink,
-# the fault model, the bundle layer, and the parallel analysis
-# executor + memo cache (with detect underneath it) are the places
-# goroutines share state; hammer them under the race detector.
+# the fault model, the bundle layer, the parallel analysis executor +
+# memo cache (with detect underneath it), the checkpoint writer, and
+# the snapshot store are the places goroutines share state; hammer
+# them under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +31,27 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
 
 check: build test race vet fuzz-smoke
+
+# resume-smoke is the shell-level half of the resume oracle (the Go
+# half is TestResumeOracle): run a checkpointed study to completion,
+# run it again interrupted mid-flight (-interrupt-after exits 3),
+# resume from the sidecar, and require the two bundles' deterministic
+# artifacts to be byte-identical via cmp.
+SMOKE := .resume-smoke
+resume-smoke:
+	rm -rf $(SMOKE)
+	mkdir -p $(SMOKE)
+	$(GO) build -o $(SMOKE)/repro ./cmd/repro
+	$(SMOKE)/repro -seed 11 -scale 0.02 -exp compare -checkpoint $(SMOKE)/ckpt-ref -checkpoint-every 100 -snapshots -outdir $(SMOKE)/ref >/dev/null
+	$(SMOKE)/repro -seed 11 -scale 0.02 -exp compare -checkpoint $(SMOKE)/ckpt -checkpoint-every 100 -snapshots -interrupt-after 4 >/dev/null; \
+	  status=$$?; [ $$status -eq 3 ] || { echo "resume-smoke: expected exit 3 from the interrupted run, got $$status"; exit 1; }
+	$(SMOKE)/repro -resume $(SMOKE)/ckpt -exp compare -outdir $(SMOKE)/resumed >/dev/null
+	cmp $(SMOKE)/ref/manifest.json $(SMOKE)/resumed/manifest.json
+	cmp $(SMOKE)/ref/events.jsonl $(SMOKE)/resumed/events.jsonl
+	cmp $(SMOKE)/ref/report.txt $(SMOKE)/resumed/report.txt
+	cmp $(SMOKE)/ref/metrics.deterministic.json $(SMOKE)/resumed/metrics.deterministic.json
+	rm -rf $(SMOKE)
+	@echo "resume-smoke: interrupted-then-resumed bundle is byte-identical to the uninterrupted run"
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

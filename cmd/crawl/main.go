@@ -26,11 +26,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"canvassing/internal/adblock"
 	"canvassing/internal/analysis"
 	"canvassing/internal/blocklist"
 	"canvassing/internal/bundle"
+	"canvassing/internal/checkpoint"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/machine"
@@ -39,6 +41,20 @@ import (
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
+
+// runOpts is the crawl configuration recorded in a checkpoint sidecar,
+// so `crawl -resume <dir>` rebuilds the exact same crawl.
+type runOpts struct {
+	Seed         uint64        `json:"seed"`
+	Scale        float64       `json:"scale"`
+	Cohort       string        `json:"cohort"`
+	Machine      string        `json:"machine"`
+	Adblock      string        `json:"adblock"`
+	Workers      int           `json:"workers"`
+	FaultRate    float64       `json:"fault_rate,omitempty"`
+	Retries      int           `json:"retries,omitempty"`
+	VisitTimeout time.Duration `json:"visit_timeout,omitempty"`
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "generation seed")
@@ -49,12 +65,37 @@ func main() {
 	workers := flag.Int("workers", 8, "crawler worker pool width")
 	out := flag.String("out", "", "output JSONL path (default stdout)")
 	sweep := flag.String("fault-sweep", "", "comma-separated fault rates to crawl in sequence (prints a resilience table, suppresses page JSONL)")
+	ckptDir := flag.String("checkpoint", "", "enable periodic checkpointing into this directory")
+	ckptEvery := flag.Int("checkpoint-every", 256, "committed pages between checkpoints")
+	interruptAfter := flag.Int("interrupt-after", 0, "stop the crawl after N checkpoint writes and exit 3 (resume-smoke testing)")
+	resumeDir := flag.String("resume", "", "resume a checkpointed crawl from this directory")
 	cli := obs.BindCLI(flag.CommandLine)
 	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
 	cli.StartPprof(tel)
+
+	// Resume: the checkpoint's recorded options override the flags —
+	// a resumed crawl must be the same crawl.
+	var cp *checkpoint.Checkpoint
+	if *resumeDir != "" {
+		var err error
+		cp, err = checkpoint.Load(*resumeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ro runOpts
+		if err := json.Unmarshal(cp.Opts, &ro); err != nil {
+			log.Fatalf("resume: checkpoint options: %v", err)
+		}
+		*seed, *scale, *cohort = ro.Seed, ro.Scale, ro.Cohort
+		*machineName, *blocker, *workers = ro.Machine, ro.Adblock, ro.Workers
+		fcli.Rate, fcli.Retries, fcli.VisitTimeout = ro.FaultRate, ro.Retries, ro.VisitTimeout
+		*ckptDir = *resumeDir
+		tel.Metrics.Restore(cp.Metrics)
+		tel.Events.Restore(cp.Events, cp.EventsSeq, cp.EventsDropped)
+	}
 
 	sp := tel.Tracer.Start("webgen")
 	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
@@ -102,12 +143,45 @@ func main() {
 		cfg.Retries = fcli.Retries
 		cfg.VisitTimeout = fcli.VisitTimeout
 	}
+	if cp != nil && cp.Faults != nil {
+		cfg.Faults = netsim.RestoreFaultModel(*cp.Faults)
+	}
 
 	if *sweep != "" {
 		if err := runFaultSweep(w, sites, cfg, *seed, *sweep, cli, fcli); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	var ckpt *checkpoint.Writer
+	if *ckptDir != "" {
+		ckpt = checkpoint.NewWriter(*ckptDir, *ckptEvery)
+		ckpt.Metrics = tel.Metrics
+		ckpt.Events = tel.Events
+		ckpt.Faults = cfg.Faults
+		ckpt.StopAfter = *interruptAfter
+		if cp != nil {
+			ckpt.Adopt(cp) // sequence and opts carry over
+		} else if err := ckpt.SetOpts(runOpts{
+			Seed: *seed, Scale: *scale, Cohort: *cohort,
+			Machine: *machineName, Adblock: *blocker, Workers: *workers,
+			FaultRate: fcli.Rate, Retries: fcli.Retries, VisitTimeout: fcli.VisitTimeout,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		cfg.CommitEvery = ckpt.Every()
+		ext := ""
+		if cfg.Extension != nil {
+			ext = cfg.Extension.Name()
+		}
+		cfg.OnCommit = ckpt.Hook(cfg.Profile.Name, ext)
+	}
+	if cp != nil {
+		if cs := cp.Crawl(cfg.Condition); cs != nil {
+			cfg.Resume = &crawler.ResumeState{Pages: cs.Pages, ParseSeen: cs.ParseSeen}
+			fmt.Fprintf(os.Stderr, "resume: continuing %q from page %d/%d\n", cfg.Condition, cs.Frontier, cs.Total)
+		}
 	}
 
 	cfg.Telemetry = tel
@@ -125,19 +199,26 @@ func main() {
 		dst = f
 	}
 	bw := bufio.NewWriter(dst)
-	defer bw.Flush()
 	enc := json.NewEncoder(bw)
 	for _, p := range res.Pages {
+		if p == nil {
+			continue // uncommitted tail of an interrupted crawl
+		}
 		if err := enc.Encode(p); err != nil {
 			log.Fatal(err)
 		}
 	}
+	bw.Flush()
 	st := res.Stats().Total
 	fmt.Fprintf(os.Stderr, "crawled %d pages ok (%d visited), %d extractions, machine=%s adblock=%s\n",
 		st.OK, st.Visited, st.Extractions, res.Machine, *blocker)
 
 	if cli.Metrics {
-		fmt.Fprintf(os.Stderr, "\nparse-cache hit rate: %.1f%%\n", 100*crawler.CacheHitRate(tel.Metrics))
+		if rate, ok := crawler.CacheHitRate(tel.Metrics); ok {
+			fmt.Fprintf(os.Stderr, "\nparse-cache hit rate: %.1f%%\n", 100*rate)
+		} else {
+			fmt.Fprintf(os.Stderr, "\nparse-cache hit rate: n/a (no lookups)\n")
+		}
 		cli.PrintMetrics(tel, os.Stderr)
 	}
 	if err := cli.WriteTrace(tel); err != nil {
@@ -154,6 +235,11 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)
+	}
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "crawl interrupted at page %d/%d; resume with -resume %s\n",
+			res.Frontier, len(res.Pages), *ckptDir)
+		os.Exit(3)
 	}
 }
 

@@ -31,9 +31,27 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner), 'all', or 'compare'")
 	out := flag.String("out", "", "also write the report to this file")
 	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
+	ckptDir := flag.String("checkpoint", "", "checkpoint the study into this directory (see -resume)")
+	ckptEvery := flag.Int("checkpoint-every", 256, "checkpoint cadence in committed pages")
+	interruptAfter := flag.Int("interrupt-after", 0, "testing: halt the study after N checkpoint writes (exit code 3)")
+	resumeDir := flag.String("resume", "", "resume an interrupted study from this checkpoint directory (ignores the run-shape flags; they come from the checkpoint)")
+	snapshots := flag.Bool("snapshots", false, "reuse control-crawl page bodies across re-crawls via a content-addressed snapshot store")
 	cli := obs.BindCLI(flag.CommandLine)
 	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
+
+	if *resumeDir != "" {
+		s, err := canvassing.Resume(*resumeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s.Halted {
+			fmt.Fprintf(os.Stderr, "study interrupted again; resume with -resume %s\n", *resumeDir)
+			os.Exit(3)
+		}
+		report(s, *exp, *out, *dumpDir, cli)
+		return
+	}
 
 	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
 	// the control crawl plus the inner-page re-crawl.
@@ -64,15 +82,33 @@ func main() {
 		FaultRate:       fcli.Rate,
 		Retries:         fcli.Retries,
 		VisitTimeout:    fcli.VisitTimeout,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		SnapshotReuse:   *snapshots,
 	})
+	if ck := s.Checkpointer(); ck != nil {
+		ck.StopAfter = *interruptAfter
+	}
 	cli.StartPprof(s.Telemetry())
 	s.RunControl()
-	s.Analyze()
-	s.RunAdblock()
-	s.RunM1()
+	if !s.Halted {
+		s.Analyze()
+		s.RunAdblock()
+	}
+	if !s.Halted {
+		s.RunM1()
+	}
+	if s.Halted {
+		fmt.Fprintf(os.Stderr, "study interrupted; resume with -resume %s\n", *ckptDir)
+		os.Exit(3)
+	}
+	report(s, *exp, *out, *dumpDir, cli)
+}
 
+// report renders the selected experiment(s) and finishes telemetry.
+func report(s *canvassing.Study, exp, out, dumpDir string, cli *obs.CLI) {
 	var text string
-	switch strings.ToLower(*exp) {
+	switch strings.ToLower(exp) {
 	case "all":
 		text = s.RenderAll() + "\n" + s.PaperComparison()
 	case "compare":
@@ -110,21 +146,21 @@ func main() {
 	case "e12":
 		text = s.RuleContext().Render()
 	default:
-		log.Fatalf("unknown experiment %q", *exp)
+		log.Fatalf("unknown experiment %q", exp)
 	}
 
 	if cli.Metrics {
 		text += "\n" + s.TelemetryReport()
 	}
-	emit(text, *out)
+	emit(text, out)
 	finishTelemetry(s, cli)
 
-	if *dumpDir != "" {
-		files, err := s.DumpSampleCanvases(*dumpDir, 3)
+	if dumpDir != "" {
+		files, err := s.DumpSampleCanvases(dumpDir, 3)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %d sample canvases to %s\n", len(files), *dumpDir)
+		fmt.Printf("wrote %d sample canvases to %s\n", len(files), dumpDir)
 	}
 }
 

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"canvassing/internal/bundle"
+	"canvassing/internal/checkpoint"
 )
 
 func main() {
@@ -40,6 +42,14 @@ func main() {
 	b, err := bundle.Load(flag.Arg(1))
 	if err != nil {
 		log.Fatal(err)
+	}
+	// A checkpoint sidecar next to a bundle usually means the run was
+	// interrupted mid-study; its bundle (if any) reflects partial work.
+	for _, dir := range []string{flag.Arg(0), flag.Arg(1)} {
+		if _, err := os.Stat(filepath.Join(dir, checkpoint.FileName)); err == nil {
+			fmt.Fprintf(os.Stderr, "note: %s holds a checkpoint sidecar (%s); if that run was interrupted, resume it before diffing\n",
+				dir, checkpoint.FileName)
+		}
 	}
 	if a.Manifest.Seed != b.Manifest.Seed {
 		fmt.Fprintf(os.Stderr, "note: seeds differ (%d vs %d); site-level flips compare different webs\n",

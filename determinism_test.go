@@ -20,10 +20,11 @@ import (
 // Two of the seeds crawl under fault injection so the oracle covers
 // degraded pages, retries, and visit.outcome events.
 //
-// The crawl pool is pinned to one worker: crawl-side event order and
-// parse-cache counters are only deterministic on a serial crawl
-// (documented in telemetry_golden_test.go), and this oracle isolates
-// the ANALYSIS pool, which is the axis that must not leak.
+// The crawl pool is pinned to one worker so this oracle isolates the
+// ANALYSIS pool as its axis. (Crawl-side telemetry is now width-
+// independent too — the crawler's ordered-commit pipeline; that axis
+// has its own oracle in resume_test.go and
+// TestCrawlTelemetryWidthInvariant.)
 //
 // This test runs in the default `go test ./...` sweep and therefore
 // joins `make check`.

@@ -99,6 +99,23 @@ func (ex *Executor) Runs() []RunStats {
 // contents are identical to a serial detect.AnalyzeAllEvents call.
 // sink may be nil to disable provenance.
 func (ex *Executor) AnalyzeAll(pages []*crawler.PageResult, sink event.Recorder, crawl string) []detect.SiteCanvases {
+	return ex.run(pages, sink, crawl, false)
+}
+
+// Replay re-derives one crawl's analysis results without touching any
+// externally visible telemetry: no evidence events, no analysis.*
+// counters, no memo-cache hit/miss movement. It exists for checkpoint
+// resume — the replayed analysis was already counted before the
+// checkpoint was written, so the restored registry and event sink
+// must be left exactly as loaded. The memo cache IS warmed (via
+// Cache.Warm), because later, non-replayed analyses count their hits
+// against whatever the cache contains, and an uninterrupted run would
+// have it populated.
+func (ex *Executor) Replay(pages []*crawler.PageResult, crawl string) []detect.SiteCanvases {
+	return ex.run(pages, nil, crawl, true)
+}
+
+func (ex *Executor) run(pages []*crawler.PageResult, sink event.Recorder, crawl string, silent bool) []detect.SiteCanvases {
 	n := len(pages)
 	out := make([]detect.SiteCanvases, n)
 	workers := ex.workers
@@ -145,7 +162,7 @@ func (ex *Executor) AnalyzeAll(pages []*crawler.PageResult, sink event.Recorder,
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					out[i] = detect.AnalyzePageMemo(pages[i], rec, crawl, ex.memo())
+					out[i] = detect.AnalyzePageMemo(pages[i], rec, crawl, ex.memo(silent))
 				}
 			}
 		}()
@@ -168,7 +185,7 @@ func (ex *Executor) AnalyzeAll(pages []*crawler.PageResult, sink event.Recorder,
 	for i := range out {
 		canvases += len(out[i].All)
 	}
-	if ex.tel != nil {
+	if ex.tel != nil && !silent {
 		ex.tel.Metrics.Counter("analysis.pages").Add(int64(n))
 		ex.tel.Metrics.Counter("analysis.canvases").Add(int64(canvases))
 	}
@@ -185,10 +202,22 @@ func (ex *Executor) AnalyzeAll(pages []*crawler.PageResult, sink event.Recorder,
 }
 
 // memo adapts the possibly-nil *Cache to the detect.Memo interface
-// without handing detect a typed-nil interface value.
-func (ex *Executor) memo() detect.Memo {
+// without handing detect a typed-nil interface value. Silent callers
+// get the counter-free warming adapter.
+func (ex *Executor) memo(silent bool) detect.Memo {
 	if ex.cache == nil {
 		return nil
 	}
+	if silent {
+		return warmMemo{ex.cache}
+	}
 	return ex.cache
+}
+
+// warmMemo is the replay adapter: lookups populate and reuse the cache
+// but never move its hit/miss counters.
+type warmMemo struct{ c *Cache }
+
+func (w warmMemo) GetOrCompute(key detect.MemoKey, compute func() detect.Verdict) detect.Verdict {
+	return w.c.Warm(key, compute)
 }

@@ -131,11 +131,11 @@ func BuildGroundTruthEvents(w *web.Web, mainCrawl []detect.SiteCanvases, cfg cra
 	if sink != nil {
 		for _, v := range services.Registry() {
 			sink.Record(event.Event{
-				Kind:    event.AttribEvidence,
-				Subject: v.Slug,
-				Verdict: string(gt.Methods[v.Slug]),
+				Kind:     event.AttribEvidence,
+				Subject:  v.Slug,
+				Verdict:  string(gt.Methods[v.Slug]),
 				Evidence: "ground-truth",
-				Detail:  fmt.Sprintf("%d hashes", len(gt.Hashes[v.Slug])),
+				Detail:   fmt.Sprintf("%d hashes", len(gt.Hashes[v.Slug])),
 			})
 		}
 	}

@@ -30,6 +30,11 @@ const (
 	MetricsFile  = "metrics.json"
 	TraceFile    = "trace.jsonl"
 	EventsFile   = "events.jsonl"
+	// MetricsDeterministicFile is the seed-reproducible projection of
+	// MetricsFile (see DeterministicMetrics). It exists so shell-level
+	// comparisons — `cmp`, `make resume-smoke` — can assert determinism
+	// without a Go loader to strip the wall-clock histogram fields.
+	MetricsDeterministicFile = "metrics.deterministic.json"
 )
 
 // Manifest identifies a run: what produced the bundle and under which
@@ -76,6 +81,10 @@ func Write(dir string, m Manifest, tel *obs.Telemetry) error {
 	}
 	if err := writeWith(filepath.Join(dir, MetricsFile), tel.Metrics.WriteJSON); err != nil {
 		return err
+	}
+	det := append(DeterministicMetrics(tel.Metrics.Snapshot()), '\n')
+	if err := os.WriteFile(filepath.Join(dir, MetricsDeterministicFile), det, 0o644); err != nil {
+		return fmt.Errorf("bundle: %w", err)
 	}
 	if err := writeWith(filepath.Join(dir, TraceFile), tel.Tracer.WriteJSONL); err != nil {
 		return err

@@ -21,6 +21,14 @@ type deterministicMetrics struct {
 // fills carry wall-clock timings, which differ between any two runs —
 // everything else in metrics.json is a pure function of the seed, and
 // the determinism oracle compares exactly this projection.
+//
+// crawl.worker.utilization is the one exclusion: it measures the pool
+// itself (one observation per worker, at worker exit), so its count is
+// a property of scheduling, not of crawl content. Workers run ahead of
+// the ordered committer, so whether their exit observations land
+// before or after a given checkpoint cut is timing-dependent — under
+// interrupt/resume the prefix pool's observations and the continuation
+// pool's both count, inflating it by one pool width.
 func DeterministicMetrics(s obs.Snapshot) []byte {
 	d := deterministicMetrics{
 		Counters:        s.Counters,
@@ -28,6 +36,9 @@ func DeterministicMetrics(s obs.Snapshot) []byte {
 		HistogramCounts: map[string]int64{},
 	}
 	for name, h := range s.Histograms {
+		if name == "crawl.worker.utilization" {
+			continue
+		}
 		d.HistogramCounts[name] = h.Count
 	}
 	b, err := json.MarshalIndent(d, "", "  ")

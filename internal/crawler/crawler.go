@@ -77,19 +77,28 @@ type PageResult struct {
 
 // Result is a whole crawl.
 type Result struct {
-	// Pages are per-site results in input order.
+	// Pages are per-site results in input order. For an interrupted
+	// crawl only Pages[:Frontier] are populated; the rest are nil.
 	Pages []*PageResult
 	// Machine names the profile the crawl ran on.
 	Machine string
 	// Extension names the ad blocker in use ("" for control).
 	Extension string
+	// Frontier is the number of leading pages the crawl committed
+	// (== len(Pages) for a completed crawl).
+	Frontier int `json:",omitempty"`
+	// Interrupted reports that Config.OnCommit stopped the crawl early;
+	// the checkpoint written by the final commit hook is the authority
+	// on what completed.
+	Interrupted bool `json:",omitempty"`
 }
 
-// SuccessfulPages returns pages that crawled OK.
+// SuccessfulPages returns pages that crawled OK. Uncommitted (nil)
+// pages of an interrupted crawl are skipped.
 func (r *Result) SuccessfulPages() []*PageResult {
 	var out []*PageResult
 	for _, p := range r.Pages {
-		if p.OK {
+		if p != nil && p.OK {
 			out = append(out, p)
 		}
 	}
@@ -178,6 +187,69 @@ type Config struct {
 	// recorded, never slept), so faulted crawls run at full speed; a
 	// real deployment would pass time.Sleep.
 	Sleep func(time.Duration)
+	// Snapshots, when non-nil, is the content-addressed snapshot store
+	// page resources are fetched through: the first crawl to see a URL
+	// populates it, later crawls (ABP/uBO/M1 re-crawls of the same web)
+	// reuse the stored body instead of re-fetching. Hit/miss accounting
+	// happens at commit time, in page order, so the counters are
+	// independent of worker scheduling.
+	Snapshots SnapshotStore
+	// CommitEvery is how many committed pages separate OnCommit calls
+	// (<=0 selects 64). The final commit always fires regardless.
+	CommitEvery int
+	// OnCommit, when non-nil, observes the crawl's committed frontier:
+	// it is called from the committer goroutine every CommitEvery pages
+	// and once more when the crawl completes. All metric and event
+	// writes for pages [0, Frontier) — and nothing beyond — have been
+	// applied when it runs, so a checkpoint taken inside the hook is an
+	// exact cut. Returning true stops the crawl: in-flight pages are
+	// discarded uncommitted and Result.Interrupted is set.
+	OnCommit func(CommitState) (stop bool)
+	// Resume continues a previous crawl from checkpoint state: the
+	// committed page prefix is replayed into the result verbatim and
+	// the worker pool starts at the frontier. Metrics and events for
+	// the prefix are NOT re-applied — the caller restores those from
+	// the same checkpoint.
+	Resume *ResumeState
+}
+
+// SnapshotStore is the content-addressed body cache a crawl reads
+// page resources through (implemented by internal/snapshot.Store).
+type SnapshotStore interface {
+	// Fetch returns the body stored for u, reading through to fetch on
+	// first sight.
+	Fetch(u netsim.URL, fetch func() (string, error)) (string, error)
+	// Account records one page's fetched URLs in commit order; the
+	// store's hit/miss counters move here, not in Fetch, so they are
+	// deterministic under any worker interleaving.
+	Account(urls []string)
+}
+
+// CommitState is the snapshot-able progress of a crawl, handed to
+// Config.OnCommit from the committer goroutine.
+type CommitState struct {
+	// Condition is Config.Condition, for hooks shared across crawls.
+	Condition string
+	// Frontier counts committed leading pages; Total is len(sites).
+	Frontier, Total int
+	// Pages is the committed prefix (aliases the result slice — copy
+	// before retaining past the hook call).
+	Pages []*PageResult
+	// ParseSeen lists the distinct script-body hashes counted as
+	// parse-cache misses so far, in first-seen page order — the
+	// accounting cursor a resumed crawl needs to keep hit/miss totals
+	// identical to an uninterrupted run.
+	ParseSeen []uint64
+	// Final marks the crawl-completion commit.
+	Final bool
+}
+
+// ResumeState is the crawl-continuation half of a checkpoint.
+type ResumeState struct {
+	// Pages is the committed prefix (indices [0, len(Pages))).
+	Pages []*PageResult
+	// ParseSeen is CommitState.ParseSeen from the checkpoint.
+	ParseSeen []uint64
 }
 
 // DefaultConfig returns the paper's crawl configuration: consent
@@ -201,24 +273,27 @@ type progCache struct {
 	progs map[uint64]*jsvm.Program
 }
 
-// get returns the parsed program for body and whether it was a cache
-// hit.
-func (c *progCache) get(body string) (*jsvm.Program, bool, error) {
+// get returns the parsed program for body and the body's cache key.
+// Hit/miss accounting does not happen here — the committer decides it
+// from the key stream in page order, so the counters are scheduling-
+// independent (two workers racing to parse the same body both insert;
+// the accounting still sees exactly one first occurrence).
+func (c *progCache) get(body string) (*jsvm.Program, uint64, error) {
 	key := stats.HashString(body)
 	c.mu.RLock()
 	p, ok := c.progs[key]
 	c.mu.RUnlock()
 	if ok {
-		return p, true, nil
+		return p, key, nil
 	}
 	p, err := jsvm.Parse(body)
 	if err != nil {
-		return nil, false, err
+		return nil, key, err
 	}
 	c.mu.Lock()
 	c.progs[key] = p
 	c.mu.Unlock()
-	return p, false, nil
+	return p, key, nil
 }
 
 // crawlMetrics holds the pre-resolved metric handles for one crawl.
@@ -281,14 +356,99 @@ func newCrawlMetrics(reg *obs.Registry) *crawlMetrics {
 }
 
 // CacheHitRate returns the parse-cache hit rate over the whole
-// registry lifetime (0 when no lookups happened).
-func CacheHitRate(reg *obs.Registry) float64 {
-	hits := reg.Counter("crawl.parsecache.hits").Value()
-	misses := reg.Counter("crawl.parsecache.misses").Value()
+// registry lifetime and whether any lookups happened. The boolean is
+// what separates "0% hit rate" (every lookup missed — the ablation
+// path) from "no observations" (nothing ever consulted the cache);
+// reports render the latter as n/a, never 0.00. Reading goes through
+// a snapshot so asking never registers the counters as a side effect.
+func CacheHitRate(reg *obs.Registry) (rate float64, ok bool) {
+	snap := reg.Snapshot()
+	hits := snap.Counters["crawl.parsecache.hits"]
+	misses := snap.Counters["crawl.parsecache.misses"]
 	if hits+misses == 0 {
-		return 0
+		return 0, false
 	}
-	return float64(hits) / float64(hits+misses)
+	return float64(hits) / float64(hits+misses), true
+}
+
+// pageDelta is everything one page visit wants to write to shared
+// telemetry, buffered privately in the visiting worker and applied by
+// the committer in page-index order. The indirection is what makes
+// crawl-side metrics, evidence events, and cache accounting byte-
+// identical at any worker width — and gives checkpoints an exact cut:
+// at a commit boundary the registry and sink contain page [0, n)'s
+// writes, all of them, and nothing else.
+type pageDelta struct {
+	counts []counterDelta
+	obsv   []histObs
+	events []event.Event
+	// parseKeys are the page's parse-cache lookup keys in lookup
+	// order; the committer turns them into hit/miss counts against a
+	// crawl-global first-seen set.
+	parseKeys []uint64
+	// forcedMisses counts parses under DisableParseCache (every parse
+	// is a miss by definition; no seen-set involved).
+	forcedMisses int64
+	// snapURLs are the URLs fetched through the snapshot store, for
+	// commit-time hit/miss accounting.
+	snapURLs []string
+}
+
+type counterDelta struct {
+	c *obs.Counter
+	n int64
+}
+
+type histObs struct {
+	h *obs.Histogram
+	v float64
+}
+
+func (d *pageDelta) inc(c *obs.Counter) { d.counts = append(d.counts, counterDelta{c, 1}) }
+
+func (d *pageDelta) add(c *obs.Counter, n int64) {
+	if n > 0 {
+		d.counts = append(d.counts, counterDelta{c, n})
+	}
+}
+
+func (d *pageDelta) observe(h *obs.Histogram, v float64) {
+	d.obsv = append(d.obsv, histObs{h, v})
+}
+
+func (d *pageDelta) observeDuration(h *obs.Histogram, dur time.Duration) {
+	d.observe(h, dur.Seconds())
+}
+
+func (d *pageDelta) record(e event.Event) { d.events = append(d.events, e) }
+
+// apply replays the delta into the shared telemetry. Runs only on the
+// committer goroutine, one page at a time, in page order.
+func (d *pageDelta) apply(mx *crawlMetrics, evs *event.Sink, snaps SnapshotStore, seen map[uint64]bool, seenOrder *[]uint64) {
+	for _, cd := range d.counts {
+		cd.c.Add(cd.n)
+	}
+	for _, ob := range d.obsv {
+		ob.h.Observe(ob.v)
+	}
+	if mx != nil {
+		for _, k := range d.parseKeys {
+			if seen[k] {
+				mx.cacheHits.Inc()
+			} else {
+				seen[k] = true
+				*seenOrder = append(*seenOrder, k)
+				mx.cacheMisses.Inc()
+			}
+		}
+		mx.cacheMisses.Add(d.forcedMisses)
+	}
+	for _, e := range d.events {
+		evs.Record(e)
+	}
+	if snaps != nil && len(d.snapURLs) > 0 {
+		snaps.Account(d.snapURLs)
+	}
 }
 
 // job is one queued page visit; At carries the enqueue time when the
@@ -298,7 +458,22 @@ type job struct {
 	at time.Time
 }
 
+// visitDone carries one finished visit from a worker to the committer.
+type visitDone struct {
+	i  int
+	pr *PageResult
+	d  *pageDelta
+}
+
 // Crawl visits the given sites of w and returns per-page results.
+//
+// Workers only compute: each visit buffers its telemetry into a
+// private pageDelta. A single committer goroutine applies results in
+// page-index order — metrics, evidence events, parse-cache and
+// snapshot accounting all land as if the crawl had run serially, at
+// any pool width. Config.OnCommit observes the committed frontier for
+// checkpointing and may stop the crawl; Config.Resume restarts one
+// from a committed prefix.
 func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
@@ -308,6 +483,9 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	}
 	if cfg.MaxStepsPerScript <= 0 {
 		cfg.MaxStepsPerScript = 20_000_000
+	}
+	if cfg.CommitEvery <= 0 {
+		cfg.CommitEvery = 64
 	}
 	if cfg.Faults != nil {
 		if cfg.Retries <= 0 {
@@ -343,9 +521,88 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 		}
 		evs = cfg.Telemetry.Events
 	}
+
+	// Resume: replay the committed prefix verbatim and start the pool
+	// at the frontier. The prefix's metrics/events live in the
+	// checkpoint the caller restored; only the parse-cache seen-set
+	// cursor transfers here.
+	frontier := 0
+	var resumeSeen []uint64
+	if cfg.Resume != nil {
+		frontier = len(cfg.Resume.Pages)
+		if frontier > len(sites) {
+			frontier = len(sites)
+		}
+		copy(res.Pages, cfg.Resume.Pages[:frontier])
+		resumeSeen = cfg.Resume.ParseSeen
+	}
+
 	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
-	var wg sync.WaitGroup
 	jobs := make(chan job)
+	results := make(chan visitDone, cfg.Workers)
+	// stop is closed by the committer when OnCommit asks to halt; the
+	// feeder drains out and the pool winds down normally.
+	stop := make(chan struct{})
+
+	var commitWG sync.WaitGroup
+	commitWG.Add(1)
+	go func() {
+		defer commitWG.Done()
+		pending := map[int]visitDone{}
+		next := frontier
+		seen := make(map[uint64]bool, len(resumeSeen))
+		seenOrder := append([]uint64(nil), resumeSeen...)
+		for _, k := range resumeSeen {
+			seen[k] = true
+		}
+		sinceCommit := 0
+		stopped := false
+		commitState := func(final bool) CommitState {
+			return CommitState{
+				Condition: cfg.Condition,
+				Frontier:  next,
+				Total:     len(sites),
+				Pages:     res.Pages[:next],
+				ParseSeen: seenOrder,
+				Final:     final,
+			}
+		}
+		for r := range results {
+			if stopped {
+				continue // drain; post-stop pages are discarded uncommitted
+			}
+			pending[r.i] = r
+			for {
+				nr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				res.Pages[next] = nr.pr
+				nr.d.apply(mx, evs, cfg.Snapshots, seen, &seenOrder)
+				next++
+				sinceCommit++
+				if cfg.OnCommit != nil && sinceCommit >= cfg.CommitEvery && next < len(sites) {
+					sinceCommit = 0
+					if cfg.OnCommit(commitState(false)) {
+						stopped = true
+						close(stop)
+						break
+					}
+				}
+			}
+		}
+		res.Frontier = next
+		res.Interrupted = stopped
+		if cfg.OnCommit != nil && !stopped {
+			// The completion commit runs after every worker has exited
+			// (results is closed post wg.Wait), so pool-level metrics
+			// like worker utilization are in the registry by now.
+			cfg.OnCommit(commitState(next == len(sites)))
+		}
+	}()
+
+	var wg sync.WaitGroup
 	crawlStart := time.Now()
 	for k := 0; k < cfg.Workers; k++ {
 		wg.Add(1)
@@ -356,36 +613,51 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 				var t0 time.Time
 				if mx != nil {
 					t0 = time.Now()
-					mx.queueWait.ObserveDuration(t0.Sub(j.at))
 				}
-				res.Pages[j.i] = visit(w, sites[j.i], cfg, cache, mx, evs)
+				pr, d := visit(w, sites[j.i], cfg, cache, mx, evs)
 				if mx != nil {
-					d := time.Since(t0)
-					busy += d
-					mx.visitLatency.ObserveDuration(d)
+					el := time.Since(t0)
+					busy += el
+					d.observe(mx.queueWait, t0.Sub(j.at).Seconds())
+					d.observeDuration(mx.visitLatency, el)
 				}
+				results <- visitDone{i: j.i, pr: pr, d: d}
 			}
 			if mx != nil {
+				// Utilization is observed directly: its sample count is
+				// deterministic (one per worker) and it must not wait on
+				// the page-commit order — a worker's last page may still
+				// be pending when the worker exits.
 				if wall := time.Since(crawlStart); wall > 0 {
 					mx.workerUtil.Observe(busy.Seconds() / wall.Seconds())
 				}
 			}
 		}()
 	}
-	for i := range sites {
+feed:
+	for i := frontier; i < len(sites); i++ {
 		j := job{i: i}
 		if mx != nil {
 			j.at = time.Now()
 		}
-		jobs <- j
+		select {
+		case jobs <- j:
+		case <-stop:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	close(results)
+	commitWG.Wait()
 	return res
 }
 
-// visit performs one page load.
-func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics, evs *event.Sink) *PageResult {
+// visit performs one page load. All shared-telemetry writes are
+// buffered into the returned pageDelta; the committer applies them in
+// page-index order.
+func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics, evs *event.Sink) (*PageResult, *pageDelta) {
+	d := &pageDelta{}
 	pr := &PageResult{
 		Domain:        site.Domain,
 		Rank:          site.Rank,
@@ -397,12 +669,12 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	if !site.CrawlOK {
 		pr.FailReason = FailUnreachable
 		if mx != nil {
-			mx.visitsFailed.Inc()
+			d.inc(mx.visitsFailed)
 		}
 		if cfg.Faults != nil {
-			recordVisitOutcome(evs, &cfg, site, FailUnreachable, netsim.FaultNone, 0)
+			recordVisitOutcome(d, evs, &cfg, site, FailUnreachable, netsim.FaultNone, 0)
 		}
-		return pr
+		return pr, d
 	}
 	// The connection phase: under fault injection the visit must first
 	// survive the network — retries, timeouts, and the circuit breaker
@@ -413,19 +685,19 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	if cfg.Faults != nil {
 		planKind = cfg.Faults.PlanFor(site.Domain).Kind
 		var reason string
-		truncate, reason, attempts = connect(site.Domain, &cfg, mx)
+		truncate, reason, attempts = connect(site.Domain, &cfg, mx, d)
 		if reason != "" {
 			pr.OK = false
 			pr.FailReason = reason
 			if mx != nil {
-				mx.visitsFailed.Inc()
+				d.inc(mx.visitsFailed)
 			}
-			recordVisitOutcome(evs, &cfg, site, reason, planKind, attempts)
-			return pr
+			recordVisitOutcome(d, evs, &cfg, site, reason, planKind, attempts)
+			return pr, d
 		}
 	}
 	if mx != nil {
-		mx.visitsOK.Inc()
+		d.inc(mx.visitsOK)
 	}
 	in := jsvm.New(jsvm.Options{
 		MaxSteps: cfg.MaxStepsPerScript,
@@ -482,13 +754,13 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if truncated {
 			pr.ScriptErrors[ps.URL.String()] = "fetch: truncated response"
 			if mx != nil {
-				mx.scriptErrors.Inc()
+				d.inc(mx.scriptErrors)
 			}
 			return
 		}
 		if ps.NeedsConsent && !cfg.AutoConsent {
 			if mx != nil {
-				mx.consentSkip.Inc()
+				d.inc(mx.consentSkip)
 			}
 			return // banner never accepted: gated tag stays dormant
 		}
@@ -501,14 +773,14 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if cfg.Extension != nil && cfg.Extension.BlockScript(req) {
 			pr.BlockedScripts = append(pr.BlockedScripts, req.URL)
 			if mx != nil {
-				mx.scriptsBlocked.Inc()
+				d.inc(mx.scriptsBlocked)
 			}
 			if evs != nil {
 				list, rule := "", ""
 				if ex, ok := cfg.Extension.(BlockExplainer); ok {
 					list, rule = ex.ExplainBlock(req)
 				}
-				evs.Record(event.Event{
+				d.record(event.Event{
 					Kind:     event.BlocklistMatch,
 					Crawl:    cfg.Condition,
 					Site:     site.Domain,
@@ -520,11 +792,11 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 			}
 			return
 		}
-		body, err := w.Store.Fetch(ps.URL)
+		body, err := fetchBody(w, ps.URL, cfg.Snapshots, d)
 		if err != nil {
 			pr.ScriptErrors[req.URL] = fmt.Sprintf("fetch: %v", err)
 			if mx != nil {
-				mx.scriptErrors.Inc()
+				d.inc(mx.scriptErrors)
 			}
 			return
 		}
@@ -533,19 +805,28 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if mx != nil {
 			parseStart = time.Now()
 		}
-		hit := false
 		if cfg.DisableParseCache {
-			prog, err = jsvm.Parse(body.Body)
+			prog, err = jsvm.Parse(body)
+			if mx != nil {
+				// Ablation parses bypass the cache: a miss every time.
+				d.forcedMisses++
+			}
 		} else {
-			prog, hit, err = cache.get(body.Body)
+			var key uint64
+			prog, key, err = cache.get(body)
+			if mx != nil {
+				if err != nil {
+					// Parse errors are never cached, so every lookup of an
+					// unparseable body misses — keep them out of the
+					// seen-set or repeats would count as hits.
+					d.forcedMisses++
+				} else {
+					d.parseKeys = append(d.parseKeys, key)
+				}
+			}
 		}
 		if mx != nil {
-			mx.parseTime.ObserveDuration(time.Since(parseStart))
-			if hit {
-				mx.cacheHits.Inc()
-			} else {
-				mx.cacheMisses.Inc()
-			}
+			d.observeDuration(mx.parseTime, time.Since(parseStart))
 		}
 		if err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
@@ -557,12 +838,12 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if _, err := in.Run(prog); err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
 			if mx != nil {
-				mx.scriptErrors.Inc()
+				d.inc(mx.scriptErrors)
 			}
 		}
 		if mx != nil {
-			mx.scriptsRun.Inc()
-			mx.vmSteps.Observe(float64(in.Steps()))
+			d.inc(mx.scriptsRun)
+			d.observe(mx.vmSteps, float64(in.Steps()))
 		}
 		currentScript = prev
 	}
@@ -587,30 +868,58 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	}
 	sort.Slice(pr.Extractions, func(i, j int) bool { return pr.Extractions[i].Seq < pr.Extractions[j].Seq })
 	if mx != nil {
-		mx.extractions.Add(int64(len(pr.Extractions)))
+		d.add(mx.extractions, int64(len(pr.Extractions)))
 	}
 	if cfg.Faults != nil {
 		verdict := "ok"
 		if pr.Degraded {
 			verdict = "degraded"
 			if mx != nil && mx.faults != nil {
-				mx.faults.degraded.Inc()
+				d.inc(mx.faults.degraded)
 			}
 		}
-		recordVisitOutcome(evs, &cfg, site, verdict, planKind, attempts)
+		recordVisitOutcome(d, evs, &cfg, site, verdict, planKind, attempts)
 	}
-	return pr
+	return pr, d
 }
 
-// recordVisitOutcome files the visit.outcome evidence event: how the
-// visit ended, under which fault plan, after how many attempts. Only
+// fetchBody retrieves one script body, through the snapshot store when
+// one is configured. Successful snapshot reads are noted in the delta
+// so the committer can account hits/misses in page order.
+func fetchBody(w *web.Web, u netsim.URL, snaps SnapshotStore, d *pageDelta) (string, error) {
+	if snaps == nil {
+		r, err := w.Store.Fetch(u)
+		if err != nil {
+			return "", err
+		}
+		return r.Body, nil
+	}
+	body, err := snaps.Fetch(u, func() (string, error) {
+		r, err := w.Store.Fetch(u)
+		if err != nil {
+			return "", err
+		}
+		return r.Body, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	d.snapURLs = append(d.snapURLs, u.String())
+	return body, nil
+}
+
+// recordVisitOutcome buffers the visit.outcome evidence event: how the
+// visit ended, under which fault plan, after how many attempts. The
+// attempts value counts tries, not retries: a first-try success is
+// attempts=1, and attempts=0 appears only when no connection was ever
+// tried (unreachable site, or a circuit that was already open). Only
 // fault-injected crawls record these, so fault-free bundles stay
 // identical to pre-resilience builds.
-func recordVisitOutcome(evs *event.Sink, cfg *Config, site *web.Site, verdict string, kind netsim.FaultKind, attempts int) {
+func recordVisitOutcome(d *pageDelta, evs *event.Sink, cfg *Config, site *web.Site, verdict string, kind netsim.FaultKind, attempts int) {
 	if evs == nil {
 		return
 	}
-	evs.Record(event.Event{
+	d.record(event.Event{
 		Kind:     event.VisitOutcome,
 		Crawl:    cfg.Condition,
 		Site:     site.Domain,

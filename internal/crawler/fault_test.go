@@ -170,6 +170,70 @@ func TestFaultMetricsAndEvents(t *testing.T) {
 	}
 }
 
+// TestDegradedDenominators is the degraded-page accounting regression
+// test: a degraded page is an OK page (it loaded, partially) and must
+// be counted in the success denominator exactly once — never double-
+// counted as both ok and degraded, never subtracted from OK, and never
+// present in a fault-free crawl. Prevalence rates divide by OK, so a
+// drifting denominator silently skews every headline number.
+func TestDegradedDenominators(t *testing.T) {
+	w := testWeb(t)
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+
+	check := func(t *testing.T, res *Result, tel *obs.Telemetry, wantDegraded bool) {
+		st := res.Stats().Total
+		if st.OK+st.Failed != st.Visited {
+			t.Fatalf("OK %d + Failed %d != Visited %d", st.OK, st.Failed, st.Visited)
+		}
+		if got := len(res.SuccessfulPages()); got != st.OK {
+			t.Fatalf("SuccessfulPages() = %d, Stats().OK = %d — degraded pages counted inconsistently", got, st.OK)
+		}
+		if st.Degraded > st.OK {
+			t.Fatalf("Degraded %d exceeds OK %d: degraded must be a subset of OK", st.Degraded, st.OK)
+		}
+		if wantDegraded == (st.Degraded == 0) {
+			t.Fatalf("Degraded = %d, want degraded pages present: %v", st.Degraded, wantDegraded)
+		}
+		degradedSeen := 0
+		for _, p := range res.SuccessfulPages() {
+			if p.Degraded {
+				degradedSeen++
+				if !p.OK {
+					t.Fatalf("page %s is Degraded but not OK", p.Domain)
+				}
+			}
+		}
+		if degradedSeen != st.Degraded {
+			t.Fatalf("degraded pages among successes = %d, Stats().Degraded = %d", degradedSeen, st.Degraded)
+		}
+		// The counters feeding reports must use the same denominators.
+		snap := tel.Metrics.Snapshot()
+		if got := snap.Counters["crawl.visits.ok"]; got != int64(st.OK) {
+			t.Fatalf("crawl.visits.ok = %d, want %d (degraded pages must count as ok visits)", got, st.OK)
+		}
+		if got := snap.Counters["crawl.visits.failed"]; got != int64(st.Failed) {
+			t.Fatalf("crawl.visits.failed = %d, want %d", got, st.Failed)
+		}
+		if got := snap.Counters["crawl.visits.degraded"]; got != int64(st.Degraded) {
+			t.Fatalf("crawl.visits.degraded = %d, want %d", got, st.Degraded)
+		}
+	}
+
+	t.Run("fault-free", func(t *testing.T) {
+		tel := obs.NewTelemetry()
+		cfg := DefaultConfig()
+		cfg.Telemetry = tel
+		check(t, Crawl(w, sites, cfg), tel, false)
+	})
+	t.Run("fault-injected", func(t *testing.T) {
+		tel := obs.NewTelemetry()
+		cfg := DefaultConfig()
+		cfg.Telemetry = tel
+		cfg.Faults = netsim.NewFaultModel(7, 0.3)
+		check(t, Crawl(w, sites, cfg), tel, true)
+	})
+}
+
 // TestFaultFreeCrawlRecordsNoOutcomes guards the bundle byte-identity
 // contract from the event side: without a FaultModel, no visit.outcome
 // events and no fault counters may appear.

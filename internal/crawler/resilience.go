@@ -68,7 +68,16 @@ func (b *breaker) ok() { b.fails = 0 }
 // per-site circuit breaker short-circuiting hopeless retries. It
 // returns the fraction of the page served (1 for a clean load), the
 // failure reason ("" on success), and the number of attempts made.
-func connect(site string, cfg *Config, mx *crawlMetrics) (truncate float64, reason string, attempts int) {
+//
+// Attempt-count semantics (pinned by TestConnectAttemptSemantics):
+// attempts counts TRIES, not retries. A success on the n-th 0-based
+// try reports n+1 (first-try success = 1); exhausting the budget
+// reports Retries+1 (every try was made); a circuit opening before the
+// n-th try reports n (the tries actually made — the skipped try is not
+// counted). The crawl.retry counter, by contrast, counts RETRIES:
+// attempts-1 for any visit that got past its first try, because the
+// first try of a visit is never a retry.
+func connect(site string, cfg *Config, mx *crawlMetrics, pd *pageDelta) (truncate float64, reason string, attempts int) {
 	bo := backoff{base: cfg.BackoffBase, cap: cfg.BackoffCap,
 		rng: stats.NewRNG(cfg.Seed).Fork("backoff:" + site)}
 	br := breaker{threshold: cfg.BreakerThreshold}
@@ -76,15 +85,15 @@ func connect(site string, cfg *Config, mx *crawlMetrics) (truncate float64, reas
 	for n := 0; n < max; n++ {
 		if br.open() {
 			if mx != nil && mx.faults != nil {
-				mx.faults.circuitOpen.Inc()
+				pd.inc(mx.faults.circuitOpen)
 			}
 			return 0, FailCircuitOpen, n
 		}
 		if n > 0 {
 			d := bo.delay(n - 1)
 			if mx != nil && mx.faults != nil {
-				mx.faults.retries.Inc()
-				mx.faults.backoff.ObserveDuration(d)
+				pd.inc(mx.faults.retries)
+				pd.observeDuration(mx.faults.backoff, d)
 			}
 			if cfg.Sleep != nil {
 				cfg.Sleep(d)
@@ -92,12 +101,12 @@ func connect(site string, cfg *Config, mx *crawlMetrics) (truncate float64, reas
 		}
 		at := cfg.Faults.Attempt(site, n)
 		if mx != nil && mx.faults != nil {
-			mx.faults.virtual.ObserveDuration(at.Latency)
+			pd.observeDuration(mx.faults.virtual, at.Latency)
 		}
 		if at.Err != nil {
 			reason = FailRefused
 			if mx != nil && mx.faults != nil {
-				mx.faults.refused.Inc()
+				pd.inc(mx.faults.refused)
 			}
 			br.fail()
 			continue
@@ -105,7 +114,7 @@ func connect(site string, cfg *Config, mx *crawlMetrics) (truncate float64, reas
 		if at.Latency > cfg.VisitTimeout {
 			reason = FailTimeout
 			if mx != nil && mx.faults != nil {
-				mx.faults.timeouts.Inc()
+				pd.inc(mx.faults.timeouts)
 			}
 			br.fail()
 			continue

@@ -81,6 +81,9 @@ type ResultStats struct {
 func (r *Result) Stats() ResultStats {
 	st := ResultStats{PerCohort: map[web.Cohort]CohortStats{}}
 	for _, p := range r.Pages {
+		if p == nil {
+			continue // uncommitted tail of an interrupted crawl
+		}
 		st.Total.add(p)
 		cs := st.PerCohort[p.Cohort]
 		cs.add(p)

@@ -24,19 +24,24 @@ func TestParseCacheHitRate(t *testing.T) {
 	if hits+misses == 0 {
 		t.Fatal("no parse-cache lookups recorded")
 	}
-	if rate := CacheHitRate(reg); rate <= 0.5 {
-		t.Fatalf("hit rate = %.2f (hits %d, misses %d), want > 0.5", rate, hits, misses)
+	if rate, ok := CacheHitRate(reg); !ok || rate <= 0.5 {
+		t.Fatalf("hit rate = %.2f ok=%v (hits %d, misses %d), want ok and > 0.5", rate, ok, hits, misses)
 	}
 
 	cfg = DefaultConfig()
 	cfg.Telemetry = obs.NewTelemetry()
 	cfg.DisableParseCache = true
 	Crawl(w, sites, cfg)
-	if rate := CacheHitRate(cfg.Telemetry.Metrics); rate != 0 {
-		t.Fatalf("ablation hit rate = %.2f, want 0", rate)
+	// The ablation is a true 0% hit rate — lookups happened, all missed
+	// — which must stay distinguishable from "no lookups at all".
+	if rate, ok := CacheHitRate(cfg.Telemetry.Metrics); !ok || rate != 0 {
+		t.Fatalf("ablation hit rate = %.2f ok=%v, want ok and 0", rate, ok)
 	}
 	if parsed := cfg.Telemetry.Metrics.Counter("crawl.parsecache.misses").Value(); parsed == 0 {
 		t.Fatal("ablation crawl must still account every parse as a miss")
+	}
+	if _, ok := CacheHitRate(obs.NewRegistry()); ok {
+		t.Fatal("a registry with no lookups must report ok=false, not a 0%% rate")
 	}
 }
 

@@ -125,6 +125,42 @@ func NewFaultModel(seed uint64, rate float64) *FaultModel {
 // Rate returns the configured fault probability.
 func (m *FaultModel) Rate() float64 { return m.rate }
 
+// FaultState is the serializable form of a FaultModel — what a crawl
+// checkpoint stores so a resumed run rebuilds the exact same plans.
+// Seed and rate are the whole derivation for unforced sites (PlanFor
+// is a pure function of them), so the "cursor" into the fault stream
+// is just this pair plus any forced overrides.
+type FaultState struct {
+	Seed   uint64               `json:"seed"`
+	Rate   float64              `json:"rate"`
+	Forced map[string]FaultPlan `json:"forced,omitempty"`
+}
+
+// Export captures the model's state for a checkpoint.
+func (m *FaultModel) Export() FaultState {
+	st := FaultState{Seed: m.seed, Rate: m.rate}
+	m.mu.RLock()
+	if len(m.forced) > 0 {
+		st.Forced = make(map[string]FaultPlan, len(m.forced))
+		for k, v := range m.forced {
+			st.Forced[k] = v
+		}
+	}
+	m.mu.RUnlock()
+	return st
+}
+
+// RestoreFaultModel rebuilds a model from its exported state. The
+// restored model agrees with the original on every PlanFor and
+// Attempt answer.
+func RestoreFaultModel(st FaultState) *FaultModel {
+	m := NewFaultModel(st.Seed, st.Rate)
+	for site, p := range st.Forced {
+		m.Force(site, p)
+	}
+	return m
+}
+
 // Force pins site's plan, overriding the seeded derivation — for tests
 // and what-if experiments that need a specific failure on a specific
 // site.

@@ -152,6 +152,33 @@ func (s *Sink) Record(e Event) {
 	s.mu.Unlock()
 }
 
+// Restore replaces the sink's contents with a previously captured
+// event list and sequence state — the checkpoint half of crash
+// recovery. The events keep the Schema and Seq they were recorded
+// with; the next Record continues from seq, so a restored-then-
+// continued log is byte-identical to one recorded in a single run.
+// Restoring more events than the ring holds keeps only the newest
+// ring-capacity tail (the same answer recording them live would give).
+func (s *Sink) Restore(events []Event, seq, dropped uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	capacity := cap(s.buf)
+	if overflow := len(events) - capacity; overflow > 0 {
+		events = events[overflow:]
+		dropped += uint64(overflow)
+	}
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, events...)
+	// If the restored list fills the ring exactly, the next Record
+	// overwrites the oldest slot — which after Restore is index 0.
+	s.next = 0
+	s.seq = seq
+	s.dropped = dropped
+}
+
 // Len returns the number of retained events.
 func (s *Sink) Len() int {
 	if s == nil {

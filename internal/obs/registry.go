@@ -297,9 +297,14 @@ func (h HistogramSnapshot) Mean() float64 {
 // Quantile estimates the q-quantile (0 < q <= 1) by linear
 // interpolation within the bucket holding the target rank. The
 // overflow bucket reports its lower bound (the estimate is a floor
-// there, matching Prometheus semantics).
+// there, matching Prometheus semantics). Out-of-range q is clamped:
+// q > 1 behaves like 1, and q <= 0 (or NaN) returns 0, matching the
+// empty-histogram answer.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
-	if h.Count == 0 || q <= 0 {
+	// NaN fails every comparison, so `q <= 0` alone would let it
+	// through to the rank arithmetic and walk off the bucket list;
+	// the inverted guard catches it alongside the legitimate zeros.
+	if h.Count == 0 || !(q > 0) {
 		return 0
 	}
 	if q > 1 {
@@ -314,7 +319,12 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 				return lower
 			}
 			if b.Count == 0 {
-				return b.UpperBound
+				// The rank landed on this bucket's boundary but the bucket
+				// itself is empty (rank == seen exactly). Every real
+				// observation at that rank sits in an earlier bucket, so
+				// the estimate must not overshoot to this bucket's upper
+				// bound — the previous bound is the ceiling.
+				return lower
 			}
 			frac := (rank - float64(seen)) / float64(b.Count)
 			return lower + frac*(b.UpperBound-lower)
@@ -441,6 +451,51 @@ func (h HistogramSnapshot) sampleFormatter() func(float64) string {
 				return "0"
 			}
 			return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+		}
+	}
+}
+
+// Restore loads a snapshot back into the registry — the checkpoint
+// half of crash recovery. Counters are topped up to the snapshot value
+// (they only go up, so restoring into a fresh registry is exact),
+// gauges are set, and histograms are recreated with the snapshot's
+// bucket bounds, counts, sum, and extremes. Restore into a non-empty
+// registry is additive for counters and destructive for gauges and
+// histograms; the resume path always restores into a registry that
+// has not observed anything yet.
+func (r *Registry) Restore(s Snapshot) {
+	for name, v := range s.Counters {
+		c := r.Counter(name)
+		c.Add(v - c.Value())
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		bounds := make([]float64, 0, len(hs.Buckets))
+		for _, b := range hs.Buckets {
+			if !math.IsInf(b.UpperBound, 1) {
+				bounds = append(bounds, b.UpperBound)
+			}
+		}
+		h := r.Histogram(name, bounds)
+		// First writer wins on bounds; a pre-existing histogram with a
+		// different layout cannot hold the snapshot's buckets, and the
+		// resume contract (fresh registry) rules that out.
+		if len(h.buckets) != len(hs.Buckets) {
+			continue
+		}
+		for i, b := range hs.Buckets {
+			h.buckets[i].Store(b.Count)
+		}
+		h.count.Store(hs.Count)
+		h.sum.store(hs.Sum)
+		if hs.Count > 0 {
+			h.min.store(hs.Min)
+			h.max.store(hs.Max)
+		} else {
+			h.min.store(math.Inf(1))
+			h.max.store(math.Inf(-1))
 		}
 	}
 }

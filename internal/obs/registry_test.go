@@ -178,3 +178,96 @@ func TestDefaultBucketShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileEdgeCases pins the Quantile corner behavior the
+// telemetry report tables depend on: empty histograms and degenerate
+// q values answer 0 (never NaN), q is clamped to 1, a rank landing
+// exactly on a bucket boundary reports that bucket's upper bound
+// without overshooting into the next bucket, and the overflow bucket
+// floors at its lower bound.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("edge", []float64{1, 2, 4})
+	// Four observations in (0,1], four in (1,2], none beyond.
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := r.Snapshot().Histograms["edge"]
+
+	// q = 0.5 → rank 4, exactly the (0,1] bucket's cumulative count:
+	// the answer is that bucket's upper bound, not a value from the
+	// next bucket.
+	if got := s.Quantile(0.5); got != 1 {
+		t.Fatalf("boundary quantile = %v, want exactly 1", got)
+	}
+	// Values must never exceed the largest populated bound.
+	for _, q := range []float64{0.75, 0.999, 1} {
+		if got := s.Quantile(q); got > 2 {
+			t.Fatalf("Quantile(%v) = %v overshoots the populated range (max bound 2)", q, got)
+		}
+	}
+	// NaN and negative q on a populated histogram still answer 0.
+	if got := s.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := s.Quantile(-0.5); got != 0 {
+		t.Fatalf("Quantile(-0.5) = %v, want 0", got)
+	}
+	// q > 1 clamps to 1 rather than running past the last rank.
+	if got, want := s.Quantile(5), s.Quantile(1); got != want {
+		t.Fatalf("Quantile(5) = %v, want the q=1 answer %v", got, want)
+	}
+}
+
+// TestRegistryRestore pins the checkpoint contract: Snapshot →
+// Restore into a fresh registry → Snapshot must be a fixed point, and
+// continued observation after Restore behaves as if the registry had
+// never been serialized.
+func TestRegistryRestore(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("visits").Add(42)
+	src.Gauge("workers").Set(8)
+	h := src.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	src.Histogram("never", []float64{1}) // registered, zero observations
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Restore(snap)
+	got, err := json.Marshal(dst.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restore is not a fixed point\n got: %s\nwant: %s", got, want)
+	}
+
+	// Observing after restore continues the original stream: min/max
+	// fold against the restored extremes, counts accumulate.
+	dst.Histogram("lat", []float64{1, 2, 4}).Observe(0.25)
+	src.Histogram("lat", []float64{1, 2, 4}).Observe(0.25)
+	a := dst.Snapshot().Histograms["lat"]
+	b := src.Snapshot().Histograms["lat"]
+	if a.Count != b.Count || a.Min != b.Min || a.Max != b.Max || a.Sum != b.Sum {
+		t.Fatalf("post-restore observation diverged: %+v vs %+v", a, b)
+	}
+	// The never-observed histogram restored with clean extremes.
+	dst.Histogram("never", []float64{1}).Observe(0.5)
+	if s := dst.Snapshot().Histograms["never"]; s.Min != 0.5 || s.Max != 0.5 {
+		t.Fatalf("restored empty histogram has polluted extremes: %+v", s)
+	}
+}

@@ -11,8 +11,9 @@ import (
 	"canvassing/internal/web"
 )
 
-// crawlerCacheHitRate reads the study-wide parse-cache hit rate.
-func crawlerCacheHitRate(s *Study) float64 {
+// crawlerCacheHitRate reads the study-wide parse-cache hit rate; ok is
+// false when nothing ever consulted the cache.
+func crawlerCacheHitRate(s *Study) (rate float64, ok bool) {
 	return crawler.CacheHitRate(s.tel.Metrics)
 }
 
@@ -102,7 +103,14 @@ func (s *Study) TelemetryReport() string {
 	}
 	sb.WriteString(s.PhaseTimings())
 	sb.WriteByte('\n')
-	fmt.Fprintf(&sb, "parse-cache hit rate: %.1f%%\n\n", 100*crawlerCacheHitRate(s))
+	// "n/a" (no lookups ever) is a different fact from "0.0%" (every
+	// lookup missed — the DisableParseCache ablation).
+	if rate, ok := crawlerCacheHitRate(s); ok {
+		fmt.Fprintf(&sb, "parse-cache hit rate: %.1f%%\n\n", 100*rate)
+	} else {
+		sb.WriteString("parse-cache hit rate: n/a (no lookups)\n\n")
+	}
+	sb.WriteString(s.checkpointSection())
 	sb.WriteString(s.analysisSection())
 	if active := s.tel.Tracer.Active(); len(active) > 0 {
 		fmt.Fprintf(&sb, "WARNING: %d span(s) never ended (leaked):\n", len(active))
@@ -134,12 +142,41 @@ func (s *Study) analysisSection() string {
 	sb.WriteString(t.String())
 	if c := s.analyzer.Cache(); c != nil {
 		hits, misses := c.Hits(), c.Misses()
-		rate := 0.0
 		if hits+misses > 0 {
-			rate = float64(hits) / float64(hits+misses)
+			rate := float64(hits) / float64(hits+misses)
+			fmt.Fprintf(&sb, "memo cache: %d hits / %d misses (%.1f%% hit rate, %d distinct verdicts)\n",
+				hits, misses, 100*rate, c.Len())
+		} else {
+			fmt.Fprintf(&sb, "memo cache: no lookups (%d distinct verdicts)\n", c.Len())
 		}
-		fmt.Fprintf(&sb, "memo cache: %d hits / %d misses (%.1f%% hit rate, %d distinct verdicts)\n",
-			hits, misses, 100*rate, c.Len())
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// checkpointSection renders the "Checkpoint & snapshots" block of
+// TelemetryReport. Always present — a disabled subsystem says so
+// explicitly rather than vanishing, so report diffs across
+// configurations stay aligned.
+func (s *Study) checkpointSection() string {
+	var sb strings.Builder
+	sb.WriteString("Checkpoint & snapshots\n")
+	if s.ckpt != nil {
+		fmt.Fprintf(&sb, "checkpointing: every %d pages, %d checkpoint(s) written\n",
+			s.ckpt.Every(), s.ckpt.Writes())
+	} else {
+		sb.WriteString("checkpointing: disabled\n")
+	}
+	if s.Snapshots != nil {
+		hits, misses := s.Snapshots.Counts()
+		if hits+misses > 0 {
+			fmt.Fprintf(&sb, "snapshot store: %d hits / %d misses (%.1f%% hit rate, %d distinct bodies)\n",
+				hits, misses, 100*float64(hits)/float64(hits+misses), s.Snapshots.Len())
+		} else {
+			fmt.Fprintf(&sb, "snapshot store: no lookups (%d distinct bodies)\n", s.Snapshots.Len())
+		}
+	} else {
+		sb.WriteString("snapshot store: disabled\n")
 	}
 	sb.WriteByte('\n')
 	return sb.String()

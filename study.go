@@ -17,11 +17,13 @@ package canvassing
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"canvassing/internal/analysis"
 	"canvassing/internal/attrib"
 	"canvassing/internal/blocklist"
+	"canvassing/internal/checkpoint"
 	"canvassing/internal/cluster"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
@@ -29,6 +31,7 @@ import (
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
+	"canvassing/internal/snapshot"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -62,6 +65,21 @@ type Options struct {
 	// under FaultRate (zero selects the crawler defaults).
 	Retries      int
 	VisitTimeout time.Duration
+	// CheckpointDir enables periodic checkpointing: crawl/study progress
+	// is written atomically to <dir>/checkpoint.json at every commit
+	// boundary, and Resume(dir) continues an interrupted run from it.
+	// Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in committed pages
+	// (<=0 selects 256).
+	CheckpointEvery int
+	// SnapshotReuse routes cohort-crawl page fetches through a shared
+	// content-addressed snapshot store, so the ABP/uBO/M1 re-crawls
+	// reuse bodies the control crawl already fetched instead of
+	// re-generating them. The store's hit/miss counters live outside
+	// the metrics registry, so enabling reuse leaves deterministic
+	// bundle artifacts byte-identical.
+	SnapshotReuse bool
 }
 
 // Crawl condition labels used in the evidence event log. Bundle diffs
@@ -107,12 +125,25 @@ type Study struct {
 	// is positive); every cohort crawl shares it so conditions see the
 	// same per-site fault plans and stay comparable.
 	Faults *netsim.FaultModel
+	// Snapshots is the content-addressed body store shared by every
+	// cohort crawl (nil unless Options.SnapshotReuse).
+	Snapshots *snapshot.Store
+	// Halted reports that the checkpoint writer interrupted the run
+	// (its StopAfter fired): later phases were skipped, and the
+	// checkpoint on disk holds the committed progress for Resume.
+	Halted bool
 
 	crawlSites []*web.Site // cohort sites in crawl order
 	tel        *obs.Telemetry
 	analyzer   *analysis.Executor
+	ckpt       *checkpoint.Writer
 	randCache  map[int]RandomizationResult
 }
+
+// Checkpointer exposes the study's checkpoint writer (nil unless
+// Options.CheckpointDir is set) — tests and binaries use it to arm
+// StopAfter interruption.
+func (s *Study) Checkpointer() *checkpoint.Writer { return s.ckpt }
 
 // Telemetry exposes the study's metrics registry and span tracer.
 // Every crawl and analysis phase accumulates into it; inspect it with
@@ -139,6 +170,19 @@ func New(opts Options) *Study {
 	if opts.FaultRate > 0 {
 		s.Faults = netsim.NewFaultModel(opts.Seed, opts.FaultRate)
 	}
+	if opts.SnapshotReuse {
+		s.Snapshots = snapshot.New()
+	}
+	if opts.CheckpointDir != "" {
+		s.ckpt = checkpoint.NewWriter(opts.CheckpointDir, opts.CheckpointEvery)
+		s.ckpt.Metrics = tel.Metrics
+		s.ckpt.Events = tel.Events
+		s.ckpt.Faults = s.Faults
+		s.ckpt.Snapshots = s.Snapshots
+		if err := s.ckpt.SetOpts(opts); err != nil {
+			panic(err) // Options is a plain struct; marshal cannot fail
+		}
+	}
 	aw := opts.AnalysisWorkers
 	if aw <= 0 {
 		aw = opts.Workers
@@ -152,19 +196,40 @@ func New(opts Options) *Study {
 	return s
 }
 
-// Run executes the full pipeline for opts.
+// Run executes the full pipeline for opts. If a checkpoint writer with
+// an armed StopAfter interrupts a crawl, the remaining phases are
+// skipped (Study.Halted) and the checkpoint holds the progress.
 func Run(opts Options) *Study {
 	s := New(opts)
 	s.RunControl()
+	if s.Halted {
+		return s
+	}
 	s.Analyze()
 	if opts.WithAdblock {
 		s.RunAdblock()
+		if s.Halted {
+			return s
+		}
 	}
 	if opts.WithM1 {
 		s.RunM1()
 	}
 	return s
 }
+
+// Pipeline phase names recorded in checkpoints. Resume walks them in
+// this order, replaying finished phases and re-running the rest.
+const (
+	PhaseCrawlControl = "crawl.control"
+	PhaseAnalyze      = "analyze"
+	PhaseCrawlABP     = "crawl.abp"
+	PhaseAnalyzeABP   = "analyze.abp"
+	PhaseCrawlUBO     = "crawl.ubo"
+	PhaseAnalyzeUBO   = "analyze.ubo"
+	PhaseCrawlM1      = "crawl.m1"
+	PhaseAnalyzeM1    = "analyze.m1"
+)
 
 // crawlConfig builds the shared crawler configuration. Every crawl a
 // study launches (control, ground truth, re-crawls, defenses) feeds
@@ -182,8 +247,38 @@ func (s *Study) crawlConfig(condition string) crawler.Config {
 		cfg.Faults = s.Faults
 		cfg.Retries = s.Options.Retries
 		cfg.VisitTimeout = s.Options.VisitTimeout
+		// Typed-nil guard: only assign the interface when a store exists.
+		if s.Snapshots != nil {
+			cfg.Snapshots = s.Snapshots
+		}
 	}
 	return cfg
+}
+
+// attachCheckpoint arms one cohort crawl with the study's checkpoint
+// hook. The demo ground-truth harvest is never checkpointed — it runs
+// inside the analyze phase, whose checkpoints are phase-boundary only.
+func (s *Study) attachCheckpoint(cfg *crawler.Config, rs *crawler.ResumeState) {
+	cfg.Resume = rs
+	if s.ckpt == nil {
+		return
+	}
+	cfg.CommitEvery = s.ckpt.Every()
+	ext := ""
+	if cfg.Extension != nil {
+		ext = cfg.Extension.Name()
+	}
+	cfg.OnCommit = s.ckpt.Hook(cfg.Profile.Name, ext)
+}
+
+// finishPhase checkpoints a completed pipeline phase.
+func (s *Study) finishPhase(name string) {
+	if s.ckpt == nil || s.Halted {
+		return
+	}
+	if err := s.ckpt.FinishPhase(name); err != nil {
+		fmt.Fprintln(os.Stderr, "canvassing:", err)
+	}
 }
 
 // events returns the study's evidence event sink (nil-safe for
@@ -208,9 +303,18 @@ func (s *Study) analyzeAll(pages []*crawler.PageResult, cond string) []detect.Si
 }
 
 // RunControl performs the control crawl over both cohorts.
-func (s *Study) RunControl() {
+func (s *Study) RunControl() { s.runControl(nil) }
+
+func (s *Study) runControl(rs *crawler.ResumeState) {
 	defer s.tel.Tracer.Start("crawl.control", "sites", fmt.Sprint(len(s.crawlSites))).End()
-	s.Control = crawler.Crawl(s.Web, s.crawlSites, s.crawlConfig(CondControl))
+	cfg := s.crawlConfig(CondControl)
+	s.attachCheckpoint(&cfg, rs)
+	s.Control = crawler.Crawl(s.Web, s.crawlSites, cfg)
+	if s.Control.Interrupted {
+		s.Halted = true
+		return
+	}
+	s.finishPhase(PhaseCrawlControl)
 }
 
 // Analyze runs detection, clustering, ground truth and attribution over
@@ -228,34 +332,90 @@ func (s *Study) Analyze() {
 	gt.End()
 	s.Attribution = attrib.AttributeEvents(s.Clustering, s.GroundTruth, s.Sites, evs)
 	sp.End()
+	s.finishPhase(PhaseAnalyze)
 }
 
 // RunAdblock performs the two ad-blocker re-crawls (Table 2) and
 // analyzes their pages under the "abp"/"ubo" condition labels.
 func (s *Study) RunAdblock() {
 	sp := s.tel.Tracer.Start("crawl.adblock")
+	defer sp.End()
 	abp := sp.StartChild("abp")
-	abpCfg := s.crawlConfig(CondABP)
-	abpCfg.Extension = newABP(s.Lists)
-	s.ABP = crawler.Crawl(s.Web, s.crawlSites, abpCfg)
-	s.ABPSites = s.analyzeAll(s.ABP.Pages, CondABP)
+	s.runABP(nil)
+	if !s.Halted {
+		s.analyzeABP()
+	}
 	abp.End()
+	if s.Halted {
+		return
+	}
 	ubo := sp.StartChild("ubo")
-	uboCfg := s.crawlConfig(CondUBO)
-	uboCfg.Extension = newUBO(s.Lists)
-	s.UBO = crawler.Crawl(s.Web, s.crawlSites, uboCfg)
-	s.UBOSites = s.analyzeAll(s.UBO.Pages, CondUBO)
+	s.runUBO(nil)
+	if !s.Halted {
+		s.analyzeUBO()
+	}
 	ubo.End()
-	sp.End()
+}
+
+func (s *Study) runABP(rs *crawler.ResumeState) {
+	cfg := s.crawlConfig(CondABP)
+	cfg.Extension = newABP(s.Lists)
+	s.attachCheckpoint(&cfg, rs)
+	s.ABP = crawler.Crawl(s.Web, s.crawlSites, cfg)
+	if s.ABP.Interrupted {
+		s.Halted = true
+		return
+	}
+	s.finishPhase(PhaseCrawlABP)
+}
+
+func (s *Study) analyzeABP() {
+	s.ABPSites = s.analyzeAll(s.ABP.Pages, CondABP)
+	s.finishPhase(PhaseAnalyzeABP)
+}
+
+func (s *Study) runUBO(rs *crawler.ResumeState) {
+	cfg := s.crawlConfig(CondUBO)
+	cfg.Extension = newUBO(s.Lists)
+	s.attachCheckpoint(&cfg, rs)
+	s.UBO = crawler.Crawl(s.Web, s.crawlSites, cfg)
+	if s.UBO.Interrupted {
+		s.Halted = true
+		return
+	}
+	s.finishPhase(PhaseCrawlUBO)
+}
+
+func (s *Study) analyzeUBO() {
+	s.UBOSites = s.analyzeAll(s.UBO.Pages, CondUBO)
+	s.finishPhase(PhaseAnalyzeUBO)
 }
 
 // RunM1 performs the Apple-silicon validation crawl (§3.1).
 func (s *Study) RunM1() {
 	defer s.tel.Tracer.Start("crawl.m1").End()
+	s.runM1Crawl(nil)
+	if s.Halted {
+		return
+	}
+	s.analyzeM1()
+}
+
+func (s *Study) runM1Crawl(rs *crawler.ResumeState) {
 	cfg := s.crawlConfig(CondM1)
 	cfg.Profile = machine.AppleM1()
+	s.attachCheckpoint(&cfg, rs)
 	s.M1 = crawler.Crawl(s.Web, s.crawlSites, cfg)
+	if s.M1.Interrupted {
+		s.Halted = true
+		return
+	}
+	s.finishPhase(PhaseCrawlM1)
+}
+
+func (s *Study) analyzeM1() {
 	s.M1Sites = s.analyzeAll(s.M1.Pages, CondM1)
+	s.finishPhase(PhaseAnalyzeM1)
 }
 
 // longtailTrackerCoverage decides which boutique fingerprinting hosts the

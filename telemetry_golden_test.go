@@ -38,9 +38,10 @@ func normalizeVolatile(s string) string {
 // TestTelemetryReportGolden pins the shape of Study.TelemetryReport():
 // the crawl summary lines, phase-timing table rows, parse-cache line,
 // and the full metric name set with their deterministic counter values.
-// Workers is 1 because parse-cache hit/miss counts race under a wider
-// pool (concurrent misses of the same script body both count as a
-// miss). Run with -update after an intentional format change.
+// The crawler's ordered-commit pipeline makes parse-cache hit/miss
+// counts identical at any pool width (TestCrawlTelemetryWidthInvariant
+// pins that); Workers stays 1 here only to keep the fixture's history
+// stable. Run with -update after an intentional format change.
 func TestTelemetryReportGolden(t *testing.T) {
 	s := New(Options{Seed: 11, Scale: 0.02, Workers: 1})
 	s.RunControl()
