@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench resume-smoke
+.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,12 @@ test:
 
 # The crawler worker pool, the obs registry, the evidence event sink,
 # the fault model, the bundle layer, the parallel analysis executor +
-# memo cache (with detect underneath it), the checkpoint writer, and
-# the snapshot store are the places goroutines share state; hammer
+# memo cache (with detect underneath it), the checkpoint writer, the
+# snapshot store, and the ops plane (status tracker, window sampler,
+# live HTTP handlers) are the places goroutines share state; hammer
 # them under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
 
 vet:
 	$(GO) vet ./...
@@ -30,7 +31,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseURL -fuzztime 10s ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
 
-check: build test race vet fuzz-smoke
+check: build test race vet fuzz-smoke bench-smoke bench-check
 
 # resume-smoke is the shell-level half of the resume oracle (the Go
 # half is TestResumeOracle): run a checkpointed study to completion,
@@ -57,3 +58,25 @@ resume-smoke:
 # (BENCH_2026-08-05.json style) next to the human-readable stream.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-smoke just proves every benchmark still runs (no snapshot).
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./... >/dev/null
+
+# bench-check is the regression gate: first a self-test (a synthesized
+# 10x slowdown of the committed baseline MUST trip the gate), then a
+# fresh -benchtime 1x run compared against the newest committed
+# BENCH_<date>.json. Thresholds live in cmd/benchdiff (loose by design:
+# 1-iteration timings are noisy; only >=100µs baselines are gated).
+# Override the fresh snapshot path with NEW=..., the baseline with
+# BENCH_BASELINE=....
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+NEW ?= .bench-new.json
+bench-check:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-check: no BENCH_<date>.json baseline committed; run 'make bench' and commit it"; exit 1; }
+	@if $(GO) run ./cmd/benchdiff -synthesize 10 $(BENCH_BASELINE) >/dev/null; then \
+	  echo "bench-check: gate self-test FAILED (synthesized 10x regression passed)"; exit 1; \
+	else echo "bench-check: gate self-test ok (synthesized regression trips the gate)"; fi
+	$(GO) test -run XXX -bench . -benchtime 1x ./... | $(GO) run ./cmd/benchjson -out $(NEW)
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) $(NEW)
+	@rm -f $(NEW)

@@ -2,9 +2,9 @@
 // detection and clustering analyses over it: prevalence, filter yield,
 // and the Figure 1 canvas-popularity distribution.
 //
-// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
-// -outdir writes a run bundle carrying one detect.classify event per
-// extraction and the cluster membership assignments.
+// Observability: the shared -metrics/-trace/-pprof/-status/-outdir
+// flags apply; -outdir writes a run bundle carrying one detect.classify
+// event per extraction and the cluster membership assignments.
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -33,7 +34,12 @@ func main() {
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
-	cli.StartPprof(tel)
+	plane, err := ops.Start(cli, tel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
+	tel.Status.MarkRunning()
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -101,6 +107,7 @@ func main() {
 	}
 	fmt.Println(t2.String())
 
+	tel.Status.MarkDone()
 	cli.PrintMetrics(tel, os.Stderr)
 	if err := cli.WriteTrace(tel); err != nil {
 		log.Fatal(err)

@@ -2,10 +2,10 @@
 // vendor-attribution results: Table 1 (per-vendor reach), Table 3
 // (attribution methods) and the FingerprintJS tier breakdown.
 //
-// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
-// -outdir writes a run bundle whose attrib.evidence events name the
-// mechanism (demo-hash, known-customer-hash, url-pattern, url-regexp)
-// behind every attribution in the tables.
+// Observability: the shared -metrics/-trace/-pprof/-status/-outdir
+// flags apply; -outdir writes a run bundle whose attrib.evidence events
+// name the mechanism (demo-hash, known-customer-hash, url-pattern,
+// url-regexp) behind every attribution in the tables.
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"canvassing"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
 )
 
 func main() {
@@ -28,9 +29,14 @@ func main() {
 	s := canvassing.New(canvassing.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers,
 	})
-	cli.StartPprof(s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
 	s.RunControl()
 	s.Analyze()
+	s.Telemetry().Status.MarkDone()
 	fmt.Println(s.Table1().Render())
 	fmt.Println(s.Table3().Render())
 	if cli.Metrics {

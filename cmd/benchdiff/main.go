@@ -1,0 +1,117 @@
+// Command benchdiff compares two benchmark JSON snapshots (from
+// cmd/benchjson / `make bench`) and exits non-zero when any benchmark
+// regressed past the threshold — the CI gate `make bench-check` runs.
+//
+//	benchdiff [flags] BASELINE.json NEW.json
+//	benchdiff [flags] -synthesize 10 BASELINE.json
+//
+// The gate is tuned for -benchtime 1x snapshots: single-iteration
+// timings are noisy, so only benchmarks whose baseline is at least
+// -min-ns are gated, and the default threshold is a generous 400%.
+// -synthesize skips the new snapshot and instead multiplies every
+// baseline timing by the given factor — a self-test proving the gate
+// fires (used by `make bench-check` before trusting a green result).
+//
+// Exit codes: 0 no regression, 1 regression detected, 2 usage or
+// input error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"canvassing/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", benchfmt.DefaultThresholdPct,
+		"ns/op increase (percent) that counts as a regression")
+	minNs := flag.Float64("min-ns", benchfmt.DefaultMinNs,
+		"ignore benchmarks whose baseline ns/op is below this floor")
+	synthesize := flag.Float64("synthesize", 0,
+		"self-test: compare the baseline against itself scaled by this factor instead of reading a new snapshot")
+	top := flag.Int("top", 10, "largest deltas to print")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] BASELINE.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "       benchdiff [flags] -synthesize FACTOR BASELINE.json\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	wantArgs := 2
+	if *synthesize > 0 {
+		wantArgs = 1
+	}
+	if len(args) != wantArgs {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := benchfmt.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("benchdiff: baseline %s holds no benchmarks", args[0]))
+	}
+
+	var fresh []benchfmt.Result
+	if *synthesize > 0 {
+		fresh = make([]benchfmt.Result, len(baseline))
+		for i, r := range baseline {
+			r.NsPerOp *= *synthesize
+			fresh[i] = r
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: self-test — baseline scaled %gx\n", *synthesize)
+	} else {
+		fresh, err = benchfmt.ReadFile(args[1])
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	c := benchfmt.Compare(baseline, fresh, benchfmt.CompareOpts{
+		ThresholdPct: *threshold,
+		MinNs:        *minNs,
+	})
+
+	fmt.Printf("benchdiff: %d compared, %d added, %d missing (gate: >%.0f%% on baselines ≥%s)\n",
+		len(c.Deltas), len(c.Added), len(c.Missing),
+		*threshold, time.Duration(*minNs).Round(time.Microsecond))
+	for i, d := range c.Deltas {
+		if i >= *top {
+			break
+		}
+		mark := " "
+		switch {
+		case d.Regression:
+			mark = "!"
+		case !d.Gated:
+			mark = "~" // below the noise floor, informational only
+		}
+		fmt.Printf("%s %-60s %12s -> %12s  %+7.1f%%\n", mark, d.Key,
+			ns(d.OldNs), ns(d.NewNs), d.Pct)
+	}
+	for _, m := range c.Missing {
+		fmt.Printf("? missing from new snapshot: %s\n", m)
+	}
+
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) past the gate\n", len(regs))
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// ns renders a ns/op value as a duration.
+func ns(v float64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

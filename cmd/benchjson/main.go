@@ -2,40 +2,26 @@
 // snapshot. It reads the benchmark stream on stdin, echoes it
 // unchanged to stdout (so it sits in a pipe without hiding anything),
 // and writes one JSON array of parsed results to -out. `make bench`
-// uses it to produce dated BENCH_<date>.json files that runs can be
-// compared against.
+// uses it to produce dated BENCH_<date>.json files that
+// cmd/benchdiff gates later runs against.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
-)
 
-// Result is one parsed benchmark line.
-type Result struct {
-	// Name is the full benchmark name including any -cpu suffix.
-	Name string `json:"name"`
-	// Package is the Go package the benchmark ran in (from the
-	// preceding "pkg:" line; empty if none was seen).
-	Package    string  `json:"package,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// Metrics holds the remaining "<value> <unit>" pairs: B/op,
-	// allocs/op, and any b.ReportMetric custom units.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+	"canvassing/internal/benchfmt"
+)
 
 func main() {
 	out := flag.String("out", "bench.json", "JSON snapshot output path")
 	flag.Parse()
 
-	var results []Result
+	var results []benchfmt.Result
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 16<<20)
@@ -46,54 +32,15 @@ func main() {
 			pkg = rest
 			continue
 		}
-		if r, ok := parseBenchLine(line, pkg); ok {
+		if r, ok := benchfmt.ParseLine(line, pkg); ok {
 			results = append(results, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := benchfmt.WriteFile(*out, results); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
-}
-
-// parseBenchLine parses one "BenchmarkName-8  N  X ns/op [V unit]..."
-// line; ok is false for non-benchmark lines.
-func parseBenchLine(line, pkg string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Package: pkg, Iterations: iters}
-	// The remainder is "<value> <unit>" pairs; ns/op first by convention
-	// but don't rely on it.
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		unit := fields[i+1]
-		if unit == "ns/op" {
-			r.NsPerOp = v
-			continue
-		}
-		if r.Metrics == nil {
-			r.Metrics = map[string]float64{}
-		}
-		r.Metrics[unit] = v
-	}
-	return r, true
 }

@@ -2,9 +2,9 @@
 // of test canvases), Table 2 (the ad-blocker re-crawls), the serving-mode
 // evasion breakdown, and the A.6 rule-context demonstration.
 //
-// Observability: the shared -metrics/-trace/-pprof/-outdir flags apply;
-// -outdir writes a run bundle whose blocklist.match events name the
-// list and rule behind every blocked script of the re-crawls.
+// Observability: the shared -metrics/-trace/-pprof/-status/-outdir
+// flags apply; -outdir writes a run bundle whose blocklist.match events
+// name the list and rule behind every blocked script of the re-crawls.
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"canvassing"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
 )
 
 func main() {
@@ -28,12 +29,17 @@ func main() {
 	s := canvassing.New(canvassing.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers, WithAdblock: !*skipAdblock,
 	})
-	cli.StartPprof(s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
 	s.RunControl()
 	s.Analyze()
 	if !*skipAdblock {
 		s.RunAdblock()
 	}
+	s.Telemetry().Status.MarkDone()
 	fmt.Println(s.Table4().Render())
 	if !*skipAdblock {
 		t2, err := s.Table2()

@@ -3,8 +3,9 @@
 // equivalent of the paper's Tracker Radar Collector output.
 //
 // Observability: -metrics prints the metrics snapshot to stderr, -trace
-// writes the span trace as JSON lines, -pprof serves /metrics, /spans,
-// /events, and net/http/pprof live during the crawl, and -outdir
+// writes the span trace as JSON lines, -status serves the live ops
+// plane (/statusz, /healthz, /readyz, /metrics.prom, /red) during the
+// crawl, -pprof serves the same plus net/http/pprof, and -outdir
 // writes a run bundle for later comparison with cmd/runsdiff.
 //
 // Fault injection: -faults gives every site a seeded chance of a fault
@@ -38,6 +39,7 @@ import (
 	"canvassing/internal/machine"
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -74,7 +76,12 @@ func main() {
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
-	cli.StartPprof(tel)
+	plane, err := ops.Start(cli, tel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
+	tel.Status.MarkRunning()
 
 	// Resume: the checkpoint's recorded options override the flags —
 	// a resumed crawl must be the same crawl.
@@ -159,6 +166,7 @@ func main() {
 		ckpt = checkpoint.NewWriter(*ckptDir, *ckptEvery)
 		ckpt.Metrics = tel.Metrics
 		ckpt.Events = tel.Events
+		ckpt.Status = tel.Status
 		ckpt.Faults = cfg.Faults
 		ckpt.StopAfter = *interruptAfter
 		if cp != nil {
@@ -188,6 +196,9 @@ func main() {
 	sp = tel.Tracer.Start("crawl", "machine", *machineName, "adblock", *blocker)
 	res := crawler.Crawl(w, sites, cfg)
 	sp.End()
+	if !res.Interrupted {
+		tel.Status.MarkDone()
+	}
 
 	dst := os.Stdout
 	if *out != "" {

@@ -7,8 +7,9 @@
 // default 0.1 finishes in well under a minute.
 //
 // Observability: -metrics appends the phase-timing table and metrics
-// snapshot, -trace writes the span trace as JSON lines, -pprof serves
-// /metrics, /spans, /events, and net/http/pprof live during the run,
+// snapshot, -trace writes the span trace as JSON lines, -status serves
+// the live ops plane (/statusz, /healthz, /readyz, /metrics.prom,
+// /red) during the run, -pprof serves the same plus net/http/pprof,
 // and -outdir writes a run bundle (manifest, metrics, trace, evidence
 // events, rendered reports) for later comparison with cmd/runsdiff.
 package main
@@ -22,6 +23,7 @@ import (
 
 	"canvassing"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
 )
 
 func main() {
@@ -89,7 +91,11 @@ func main() {
 	if ck := s.Checkpointer(); ck != nil {
 		ck.StopAfter = *interruptAfter
 	}
-	cli.StartPprof(s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
 	s.RunControl()
 	if !s.Halted {
 		s.Analyze()
@@ -102,6 +108,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "study interrupted; resume with -resume %s\n", *ckptDir)
 		os.Exit(3)
 	}
+	s.Telemetry().Status.MarkDone()
 	report(s, *exp, *out, *dumpDir, cli)
 }
 

@@ -192,6 +192,9 @@ func (ex *Executor) run(pages []*crawler.PageResult, sink event.Recorder, crawl 
 	if sp != nil {
 		sp.End()
 	}
+	if ex.tel != nil && !silent {
+		ex.tel.Status.RecordAnalysis(crawl, n, canvases, numShards, workers)
+	}
 
 	ex.mu.Lock()
 	ex.runs = append(ex.runs, RunStats{

@@ -1,0 +1,139 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: canvassing/internal/jsvm
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkInterpFib 	       1	   2772384 ns/op
+BenchmarkInterpFib-8 	       3	   2000000 ns/op	 512 B/op	       4 allocs/op
+PASS
+ok  	canvassing/internal/jsvm	0.1s
+pkg: canvassing/internal/stats
+BenchmarkRNGUint64 	       1	       333.0 ns/op
+not a benchmark line
+Benchmark 	garbage
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkInterpFib" || r.Package != "canvassing/internal/jsvm" ||
+		r.Iterations != 1 || r.NsPerOp != 2772384 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if results[1].Metrics["B/op"] != 512 || results[1].Metrics["allocs/op"] != 4 {
+		t.Fatalf("metrics = %+v", results[1].Metrics)
+	}
+	if results[2].Package != "canvassing/internal/stats" {
+		t.Fatalf("pkg tracking broke: %+v", results[2])
+	}
+	if results[0].Key() == results[2].Key() {
+		t.Fatal("keys must include the package")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	results, _ := Parse(strings.NewReader(sampleStream))
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip length: %d vs %d", len(back), len(results))
+	}
+	for i := range back {
+		if back[i].Name != results[i].Name || back[i].NsPerOp != results[i].NsPerOp ||
+			back[i].Package != results[i].Package || back[i].Iterations != results[i].Iterations {
+			t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, back[i], results[i])
+		}
+	}
+	if back[1].Metrics["B/op"] != 512 {
+		t.Fatalf("metrics lost in round trip: %+v", back[1].Metrics)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkSlow", Package: "p", NsPerOp: 1_000_000},
+		{Name: "BenchmarkFast", Package: "p", NsPerOp: 500}, // under the noise floor
+		{Name: "BenchmarkGone", Package: "p", NsPerOp: 2_000_000},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkSlow", Package: "p", NsPerOp: 6_000_000}, // +500% → regression
+		{Name: "BenchmarkFast", Package: "p", NsPerOp: 50_000},    // +9900% but exempt
+		{Name: "BenchmarkNew", Package: "p", NsPerOp: 100},
+	}
+	c := Compare(old, fresh, CompareOpts{ThresholdPct: 400, MinNs: 100_000})
+
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Key != "p.BenchmarkSlow" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Pct != 500 {
+		t.Fatalf("pct = %v, want 500", regs[0].Pct)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "p.BenchmarkGone" {
+		t.Fatalf("missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "p.BenchmarkNew" {
+		t.Fatalf("added = %v", c.Added)
+	}
+	// Deltas sorted worst-first; the exempt one is marked ungated.
+	if c.Deltas[0].Key != "p.BenchmarkFast" || c.Deltas[0].Gated {
+		t.Fatalf("worst delta = %+v (Fast should lead ungated)", c.Deltas[0])
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := []Result{{Name: "B", NsPerOp: 1_000_000}}
+	fresh := []Result{{Name: "B", NsPerOp: 1_100_000}}
+	if regs := Compare(old, fresh, CompareOpts{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("+10%% flagged under the default gate: %+v", regs)
+	}
+}
+
+// TestCompareSynthesized mirrors the `make bench-check` self-test: a
+// 10x slowdown of every benchmark must trip the default gate as long
+// as at least one baseline clears the noise floor.
+func TestCompareSynthesized(t *testing.T) {
+	old := []Result{
+		{Name: "A", NsPerOp: 50_000},
+		{Name: "B", NsPerOp: 2_000_000},
+	}
+	fresh := make([]Result, len(old))
+	for i, r := range old {
+		r.NsPerOp *= 10
+		fresh[i] = r
+	}
+	regs := Compare(old, fresh, CompareOpts{}).Regressions()
+	if len(regs) != 1 || regs[0].Key != "B" {
+		t.Fatalf("synthesized regressions = %+v, want just B", regs)
+	}
+}
+
+func TestCompareDefaults(t *testing.T) {
+	o := CompareOpts{}.withDefaults()
+	if o.ThresholdPct != DefaultThresholdPct || o.MinNs != DefaultMinNs {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit zero floor stays zero (gate everything).
+	if (CompareOpts{MinNs: -1}).withDefaults().MinNs != 0 {
+		t.Fatal("negative MinNs must clamp to 0")
+	}
+}

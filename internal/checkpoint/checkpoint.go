@@ -125,6 +125,10 @@ type Writer struct {
 	// after that many checkpoint writes — the interruption lever the
 	// resume oracle and `make resume-smoke` pull. 0 never stops.
 	StopAfter int
+	// Status, when set, is told about every successful sidecar write so
+	// /statusz can report live checkpoint state. It is an observer only:
+	// nothing from it enters the checkpoint document.
+	Status *obs.Status
 
 	dir   string
 	every int
@@ -271,6 +275,7 @@ func (w *Writer) writeLocked() error {
 		return err
 	}
 	w.writes++
+	w.Status.CheckpointWrite(w.dir, w.writes, w.stopped)
 	return nil
 }
 

@@ -513,6 +513,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 	}
 	var mx *crawlMetrics
 	var evs *event.Sink
+	var st *obs.Status // live frontier for /statusz; nil-safe, outside the registry
 	if cfg.Telemetry != nil {
 		mx = newCrawlMetrics(cfg.Telemetry.Metrics)
 		mx.workers.Set(int64(cfg.Workers))
@@ -520,6 +521,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 			mx.faults = newFaultMetrics(cfg.Telemetry.Metrics)
 		}
 		evs = cfg.Telemetry.Events
+		st = cfg.Telemetry.Status
 	}
 
 	// Resume: replay the committed prefix verbatim and start the pool
@@ -536,6 +538,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 		copy(res.Pages, cfg.Resume.Pages[:frontier])
 		resumeSeen = cfg.Resume.ParseSeen
 	}
+	st.CrawlProgress(cfg.Condition, frontier, len(sites), false)
 
 	cache := &progCache{progs: map[uint64]*jsvm.Program{}}
 	jobs := make(chan job)
@@ -582,6 +585,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 				nr.d.apply(mx, evs, cfg.Snapshots, seen, &seenOrder)
 				next++
 				sinceCommit++
+				st.CrawlProgress(cfg.Condition, next, len(sites), false)
 				if cfg.OnCommit != nil && sinceCommit >= cfg.CommitEvery && next < len(sites) {
 					sinceCommit = 0
 					if cfg.OnCommit(commitState(false)) {
@@ -594,6 +598,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 		}
 		res.Frontier = next
 		res.Interrupted = stopped
+		st.CrawlProgress(cfg.Condition, next, len(sites), !stopped)
 		if cfg.OnCommit != nil && !stopped {
 			// The completion commit runs after every worker has exited
 			// (results is closed post wg.Wait), so pool-level metrics

@@ -10,16 +10,24 @@ import (
 
 // CLI is the shared observability flag set every binary wires the same
 // way: -metrics (print the snapshot / phase table), -trace (span JSONL
-// export), -pprof (live debug endpoint), and -outdir (run-bundle
-// directory). PR 1 duplicated this wiring per command; BindCLI is the
-// single place it lives now.
+// export), -pprof / -status (live ops-plane endpoint), -window (RED
+// window width), and -outdir (run-bundle directory). PR 1 duplicated
+// this wiring per command; BindCLI is the single place it lives now.
 type CLI struct {
 	// Metrics requests the rendered metrics/phase report after the run.
 	Metrics bool
 	// Trace is the span-trace JSONL output path ("" = off).
 	Trace string
-	// Pprof is the live debug-endpoint address ("" = off).
+	// Pprof is the live ops-plane address WITH profiling endpoints
+	// ("" = off).
 	Pprof string
+	// Status is the live ops-plane address without profiling
+	// ("" = off). When both Status and Pprof are set, Pprof wins —
+	// it is Status plus /debug/pprof.
+	Status string
+	// Window is the sliding window for the live RED views (/red and
+	// the /statusz rates/ETA). Zero selects one minute.
+	Window time.Duration
 	// OutDir is the run-bundle output directory ("" = off).
 	OutDir string
 	// AnalysisWorkers is the post-crawl analysis pool width (0 =
@@ -34,10 +42,21 @@ func BindCLI(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.BoolVar(&c.Metrics, "metrics", false, "print the metrics snapshot and phase timings after the run")
 	fs.StringVar(&c.Trace, "trace", "", "write the span trace as JSON lines to this path")
-	fs.StringVar(&c.Pprof, "pprof", "", "serve live /metrics, /spans, /events, and /debug/pprof on this address during the run")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve the live ops plane plus /debug/pprof on this address during the run")
+	fs.StringVar(&c.Status, "status", "", "serve the live ops plane (/statusz, /healthz, /readyz, /metrics.prom, /red, ...) on this address during the run")
+	fs.DurationVar(&c.Window, "window", 0, "sliding window for the live RED metric views (default 1m)")
 	fs.StringVar(&c.OutDir, "outdir", "", "write a run bundle (manifest, metrics, trace, events, reports) to this directory")
 	fs.IntVar(&c.AnalysisWorkers, "analysis-workers", 0, "analysis worker pool width (0 = same as crawler workers; output is identical at any width)")
 	return c
+}
+
+// OpsAddr resolves the ops-plane serve address and whether profiling
+// endpoints were requested ("" when no serving flag was given).
+func (c *CLI) OpsAddr() (addr string, withPprof bool) {
+	if c.Pprof != "" {
+		return c.Pprof, true
+	}
+	return c.Status, false
 }
 
 // FaultCLI is the shared fault-injection flag set the crawling
@@ -64,21 +83,6 @@ func BindFaultCLI(fs *flag.FlagSet) *FaultCLI {
 	fs.IntVar(&c.Retries, "retries", 0, "visit retry budget under -faults (0 = default 3)")
 	fs.DurationVar(&c.VisitTimeout, "visit-timeout", 0, "virtual per-attempt visit deadline under -faults (0 = default 5s)")
 	return c
-}
-
-// StartPprof starts the live debug endpoint when -pprof was given,
-// logging startup and failures to stderr.
-func (c *CLI) StartPprof(tel *Telemetry) {
-	if c.Pprof == "" {
-		return
-	}
-	errc := Serve(c.Pprof, tel, true)
-	go func() {
-		if err := <-errc; err != nil {
-			fmt.Fprintf(os.Stderr, "telemetry: debug server on %s failed: %v\n", c.Pprof, err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /spans, /events, /debug/pprof on %s\n", c.Pprof)
 }
 
 // WriteTrace writes the span-trace export when -trace was given.

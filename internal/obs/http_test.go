@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -47,5 +48,60 @@ func TestMuxWithoutPprof(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
 	if rec.Code != 404 {
 		t.Fatalf("pprof must be absent unless requested, got %d", rec.Code)
+	}
+}
+
+// TestIndexPage: "/" lists every registered endpoint (extras included)
+// as text for probes and HTML for browsers; unknown paths still 404.
+func TestIndexPage(t *testing.T) {
+	extra := Route{Pattern: "/extra", Desc: "an extra route",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})}
+	mux := NewMux(NewTelemetry(), true, extra)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"/metrics", "/spans", "/events", "/healthz", "/readyz", "/extra", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %s:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "<html>") {
+		t.Fatal("plain request must get plain text")
+	}
+
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Accept", "text/html")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "<html>") {
+		t.Fatal("browser request must get HTML")
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown path = %d, want 404", rec.Code)
+	}
+}
+
+// TestReadyzFollowsStatus: the probe mirrors the status tracker.
+func TestReadyzFollowsStatus(t *testing.T) {
+	tel := NewTelemetry()
+	mux := NewMux(tel, false)
+	probe := func() int {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		return rec.Code
+	}
+	if probe() != 503 {
+		t.Fatal("init must be 503")
+	}
+	tel.Status.MarkRunning()
+	if probe() != 200 {
+		t.Fatal("running must be 200")
 	}
 }

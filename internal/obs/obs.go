@@ -28,9 +28,19 @@ type Telemetry struct {
 	Metrics *Registry
 	Tracer  *Tracer
 	Events  *event.Sink
+	// Status is the live run-progress tracker behind /healthz, /readyz,
+	// and /statusz. It is deliberately NOT part of the registry: nothing
+	// in it reaches a bundle or checkpoint, so the ops plane never
+	// perturbs deterministic artifacts. Nil on bare Telemetry literals;
+	// every consumer nil-checks (Status methods are nil-safe).
+	Status *Status
 }
 
-// NewTelemetry returns an empty telemetry bundle.
+// NewTelemetry returns an empty telemetry bundle. The tracer's root
+// spans feed the status tracker's phase ledger automatically.
 func NewTelemetry() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer(), Events: event.NewSink(0)}
+	st := NewStatus()
+	tr := NewTracer()
+	tr.Observer = st
+	return &Telemetry{Metrics: NewRegistry(), Tracer: tr, Events: event.NewSink(0), Status: st}
 }

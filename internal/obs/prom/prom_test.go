@@ -1,0 +1,152 @@
+package prom
+
+import (
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"canvassing/internal/obs"
+)
+
+var update = flag.Bool("update", false, "regenerate the exposition golden file")
+
+// testRegistry builds a registry covering every family type the
+// renderer handles, with dotted and dashed names that need sanitizing.
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("crawl.visits.ok").Add(96)
+	r.Counter("crawl.visits.failed").Add(4)
+	r.Counter("crawl.circuit-open").Add(3)
+	r.Gauge("crawl.workers").Set(8)
+	h := r.Histogram("crawl.visit.seconds", []float64{0.1, 0.5, 1, 5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(0.3)
+	h.Observe(2)
+	h.Observe(100) // overflow bucket
+	return r
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"crawl.visits":       "crawl_visits",
+		"crawl.circuit-open": "crawl_circuit_open",
+		"jsvm.script.steps":  "jsvm_script_steps",
+		"already_legal":      "already_legal",
+		"with:colon":         "with:colon",
+		"9starts.with.digit": "_9starts_with_digit",
+		"":                   "_",
+	}
+	for in, want := range cases {
+		if got := Sanitize(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestExpositionGolden pins the rendered exposition byte-for-byte.
+func TestExpositionGolden(t *testing.T) {
+	got := Render(testRegistry().Snapshot())
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nRe-run with -update if the change is intentional.", got, want)
+	}
+}
+
+// TestExpositionParses validates the output against the text-format
+// grammar with an independent line parser: TYPE lines declare each
+// family before its samples, sample names belong to the declared
+// family, values parse, histogram buckets are cumulative and end at
+// +Inf with _count equal to the +Inf bucket.
+func TestExpositionParses(t *testing.T) {
+	text := string(Render(testRegistry().Snapshot()))
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition:\n%s\nerror: %v", text, err)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	text := string(Render(testRegistry().Snapshot()))
+	var prev int64 = -1
+	var inf int64 = -1
+	var count int64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "crawl_visit_seconds_bucket"):
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value: %v", err)
+			}
+			if v < prev {
+				t.Fatalf("buckets not cumulative: %d after %d", v, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(line, "crawl_visit_seconds_count"):
+			count, _ = strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		}
+	}
+	if inf != 5 || count != 5 {
+		t.Fatalf("+Inf bucket = %d, _count = %d, want both 5", inf, count)
+	}
+}
+
+// TestCollision checks that two raw names sanitizing identically still
+// produce distinct families.
+func TestCollision(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a_b").Add(2)
+	text := string(Render(r.Snapshot()))
+	if !strings.Contains(text, "# TYPE a_b counter") || !strings.Contains(text, "# TYPE a_b_dup counter") {
+		t.Fatalf("collision not disambiguated:\n%s", text)
+	}
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("invalid exposition after collision: %v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry()))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestFormatFloatInf(t *testing.T) {
+	// +Inf must render as the literal label value, never via FormatFloat.
+	r := obs.NewRegistry()
+	r.Histogram("h", []float64{1}).Observe(5)
+	text := string(Render(r.Snapshot()))
+	if strings.Contains(text, "+Inf+") || !strings.Contains(text, `le="+Inf"`) {
+		t.Fatalf("overflow bucket rendering wrong:\n%s", text)
+	}
+	if s := formatFloat(math.Inf(1)); s != "+Inf" {
+		t.Fatalf("formatFloat(+Inf) = %q", s)
+	}
+}

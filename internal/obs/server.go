@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// Server is a started ops/debug HTTP server. Unlike the old
+// fire-and-forget Serve, it exposes the bound address (so ":0" works
+// in tests and callers can print a real URL) and graceful Shutdown,
+// letting tests and long-running binaries own the listener lifecycle.
+type Server struct {
+	srv  *http.Server
+	addr string
+	errc chan error
+}
+
+// StartServer binds addr (":0" picks a free port), serves h in a
+// background goroutine, and returns immediately. A failure to bind is
+// returned synchronously; later serve errors arrive on Err.
+func StartServer(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: h},
+		addr: ln.Addr().String(),
+		errc: make(chan error, 1),
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.errc <- err
+		}
+		close(s.errc)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port for ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// URL returns the http:// base URL of the bound address.
+func (s *Server) URL() string { return "http://" + s.addr }
+
+// Err reports asynchronous serve failures. The channel closes when the
+// serve loop exits (including after Shutdown).
+func (s *Server) Err() <-chan error { return s.errc }
+
+// Shutdown gracefully stops the server, waiting for in-flight
+// requests up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the debug mux on addr and returns the running server.
+// Callers that previously ignored the error channel now get the bound
+// address and a Shutdown lever; extras extend the endpoint surface
+// (the ops subpackage passes the exposition/status routes here).
+func Serve(addr string, tel *Telemetry, withPprof bool, extras ...Route) (*Server, error) {
+	return StartServer(addr, NewMux(tel, withPprof, extras...))
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartServerZeroPort: ":0" binds a real port the caller can read
+// back, and Shutdown stops the listener.
+func TestStartServerZeroPort(t *testing.T) {
+	tel := NewTelemetry()
+	srv, err := Serve("127.0.0.1:0", tel, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(srv.Addr(), ":0") {
+		t.Fatalf("Addr = %q, want a resolved port", srv.Addr())
+	}
+	res, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("healthz = %d", res.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The serve loop must exit (Err closes) and the port must be free.
+	select {
+	case err, ok := <-srv.Err():
+		if ok && err != nil {
+			t.Fatalf("serve error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve loop did not exit after Shutdown")
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+}
+
+// TestStartServerBindError: a bad address fails synchronously.
+func TestStartServerBindError(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", NewTelemetry(), false); err == nil {
+		t.Fatal("expected bind error")
+	}
+}

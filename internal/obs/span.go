@@ -36,10 +36,25 @@ type Span struct {
 	ended  atomic.Bool
 }
 
+// SpanObserver receives span lifecycle notifications — the hook that
+// feeds the live phase ledger (obs.Status) without the tracer knowing
+// about it. root is true for spans started directly from the tracer
+// (pipeline phases). Callbacks run outside the tracer's lock but may
+// be invoked concurrently; implementations synchronize themselves.
+type SpanObserver interface {
+	SpanStarted(name string, root bool)
+	SpanEnded(name string, root bool, d time.Duration)
+}
+
 // Tracer collects spans. It is safe for concurrent use; finished
 // spans accumulate in memory (a study produces tens of spans, not
 // millions) and can be drained as records or JSON lines.
 type Tracer struct {
+	// Observer, when non-nil, is notified as spans start and end. Set
+	// it before the first span starts (NewTelemetry does); it must not
+	// be mutated afterwards.
+	Observer SpanObserver
+
 	mu     sync.Mutex
 	nextID int64
 	done   []SpanRecord
@@ -71,6 +86,9 @@ func (t *Tracer) start(parent int64, name string, labels []string) *Span {
 	sp.start = t.now()
 	t.active[sp.id] = sp
 	t.mu.Unlock()
+	if t.Observer != nil {
+		t.Observer.SpanStarted(name, parent == 0)
+	}
 	return sp
 }
 
@@ -117,6 +135,9 @@ func (sp *Span) End() time.Duration {
 	})
 	delete(t.active, sp.id)
 	t.mu.Unlock()
+	if t.Observer != nil {
+		t.Observer.SpanEnded(sp.name, sp.parent == 0, d)
+	}
 	return d
 }
 

@@ -179,6 +179,7 @@ func New(opts Options) *Study {
 		s.ckpt.Events = tel.Events
 		s.ckpt.Faults = s.Faults
 		s.ckpt.Snapshots = s.Snapshots
+		s.ckpt.Status = tel.Status
 		if err := s.ckpt.SetOpts(opts); err != nil {
 			panic(err) // Options is a plain struct; marshal cannot fail
 		}
@@ -193,6 +194,7 @@ func New(opts Options) *Study {
 	s.analyzer = analysis.NewExecutor(aw, analysis.NewCache(tel.Metrics), tel)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
+	tel.Status.MarkRunning()
 	return s
 }
 
