@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke
+.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,12 @@ test:
 # The crawler worker pool, the obs registry, the evidence event sink,
 # the fault model, the bundle layer, the parallel analysis executor +
 # memo cache (with detect underneath it), the checkpoint writer, the
-# snapshot store, and the ops plane (status tracker, window sampler,
-# live HTTP handlers) are the places goroutines share state; hammer
-# them under the race detector.
+# snapshot store, the exemplar reservoir (offered from workers, read by
+# /tracez), and the ops plane (status tracker, window sampler, live
+# HTTP handlers) are the places goroutines share state; hammer them
+# under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +32,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseURL -fuzztime 10s ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
 
-check: build test race vet fuzz-smoke bench-smoke bench-check
+check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke
 
 # resume-smoke is the shell-level half of the resume oracle (the Go
 # half is TestResumeOracle): run a checkpointed study to completion,
@@ -53,6 +54,24 @@ resume-smoke:
 	cmp $(SMOKE)/ref/metrics.deterministic.json $(SMOKE)/resumed/metrics.deterministic.json
 	rm -rf $(SMOKE)
 	@echo "resume-smoke: interrupted-then-resumed bundle is byte-identical to the uninterrupted run"
+
+# trace-smoke is the shell-level tracescope check: run a small traced
+# study with -outdir, then require tracescope to produce a critical
+# path and a non-empty exemplar reservoir from the run dir.
+TSMOKE := .trace-smoke
+trace-smoke:
+	rm -rf $(TSMOKE)
+	mkdir -p $(TSMOKE)
+	$(GO) build -o $(TSMOKE)/repro ./cmd/repro
+	$(GO) build -o $(TSMOKE)/tracescope ./cmd/tracescope
+	$(TSMOKE)/repro -seed 5 -scale 0.02 -exp compare -tracez -outdir $(TSMOKE)/run >/dev/null
+	test -s $(TSMOKE)/run/trace_exemplars.jsonl
+	$(TSMOKE)/tracescope $(TSMOKE)/run | grep -q "Critical path: crawl"
+	$(TSMOKE)/tracescope $(TSMOKE)/run | grep -q "Slowest visits"
+	$(TSMOKE)/tracescope -folded $(TSMOKE)/folded.txt $(TSMOKE)/run >/dev/null 2>&1
+	grep -q "^visits;control;visit" $(TSMOKE)/folded.txt
+	rm -rf $(TSMOKE)
+	@echo "trace-smoke: tracescope reports a critical path and exemplar visits from a traced run dir"
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

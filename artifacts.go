@@ -7,12 +7,18 @@ import (
 
 	"canvassing/internal/bundle"
 	"canvassing/internal/imaging"
+	"canvassing/internal/obs/tracez"
 )
 
 // WriteBundle writes the study's run bundle to dir: manifest.json,
 // metrics.json, trace.jsonl, events.jsonl, telemetry.txt, and — when
 // the analyses have run — report.txt with the full experiment suite.
 // Two bundles from different runs are compared with cmd/runsdiff.
+//
+// With Options.TraceVisits the exemplar reservoir is also exported as
+// trace_exemplars.jsonl in dir. That file is a sidecar, NOT a bundle
+// artifact: it carries volatile wall-clock fields, so it stays outside
+// the byte-stability contract and no bundle byte depends on it.
 func (s *Study) WriteBundle(dir string) error {
 	workers := s.Options.Workers
 	if workers <= 0 {
@@ -29,6 +35,11 @@ func (s *Study) WriteBundle(dir string) error {
 	}
 	if s.Clustering != nil {
 		if err := bundle.WriteReport(dir, "report.txt", s.RenderAll()); err != nil {
+			return err
+		}
+	}
+	if s.visits != nil {
+		if err := tracez.WriteExemplars(filepath.Join(dir, tracez.ExemplarsFile), s.visits, s.tel.Tracer.Records()); err != nil {
 			return err
 		}
 	}

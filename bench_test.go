@@ -16,6 +16,7 @@ import (
 	"canvassing/internal/detect"
 	"canvassing/internal/imaging"
 	"canvassing/internal/obs"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -338,5 +339,60 @@ func BenchmarkAblationBlocklistScan(b *testing.B) {
 func BenchmarkFullStudyTiny(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Run(Options{Seed: uint64(i) + 1, Scale: 0.005})
+	}
+}
+
+// BenchmarkVisitSpanOverhead measures what per-visit span trees cost
+// the crawl: the same control crawl with the exemplar reservoir off
+// and on. The delta is the price of building a tree per visit and
+// offering it to the reservoir from the committer.
+func BenchmarkVisitSpanOverhead(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := New(Options{Seed: 3, Scale: 0.02, Workers: 4, TraceVisits: traced})
+				s.RunControl()
+			}
+		})
+	}
+}
+
+// BenchmarkCriticalPath measures the tracescope analyzer over a forest
+// the size of a fully-loaded reservoir (every condition at the default
+// slow+head bounds).
+func BenchmarkCriticalPath(b *testing.B) {
+	r := tracez.NewReservoir(3, 0, 0)
+	for _, cond := range []string{"control", "abp", "ubo"} {
+		for i := 0; i < 400; i++ {
+			vb := tracez.NewVisit(cond, web.ActorHost(i), i+1, i)
+			conn := vb.Open(vb.Root(), "connect")
+			conn.Cost = int64(1 + i%3)
+			vb.Close(conn)
+			sc := vb.Open(vb.Root(), "script")
+			for _, ph := range []string{"fetch", "parse", "exec"} {
+				sp := vb.Open(sc, ph)
+				sp.Cost = int64(512 + 97*i)
+				vb.Close(sp)
+			}
+			vb.Close(sc)
+			r.Offer(vb.Finish("ok"))
+		}
+	}
+	var forest []*tracez.Span
+	for _, ce := range r.Snapshot() {
+		for _, vt := range append(ce.Slow, ce.Head...) {
+			forest = append(forest, vt.Root)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := tracez.Analyze(forest)
+		if rep.Roots != len(forest) {
+			b.Fatal("analyzer lost roots")
+		}
 	}
 }

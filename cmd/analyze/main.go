@@ -15,6 +15,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"canvassing/internal/analysis"
 	"canvassing/internal/bundle"
@@ -23,6 +24,7 @@ import (
 	"canvassing/internal/detect"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/ops"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -34,7 +36,13 @@ func main() {
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
-	plane, err := ops.Start(cli, tel)
+	var visits *tracez.Reservoir
+	if cli.Tracez {
+		// Analysis-only binary: the reservoir sees per-shard batch
+		// spans, no visit trees.
+		visits = tracez.NewReservoir(0, 0, 0)
+	}
+	plane, err := ops.Start(cli, tel, visits)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,6 +83,7 @@ func main() {
 		aw = 8
 	}
 	ex := analysis.NewExecutor(aw, analysis.NewCache(tel.Metrics), tel)
+	ex.SetVisits(visits)
 	sites := ex.AnalyzeAll(pages, tel.Events, "control")
 	t := report.NewTable("Prevalence", "cohort", "crawled-ok", "fp-sites", "prevalence", "yield")
 	for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
@@ -115,6 +124,9 @@ func main() {
 	if cli.OutDir != "" {
 		m := bundle.Manifest{Notes: "cmd/analyze"}
 		if err := bundle.Write(cli.OutDir, m, tel); err != nil {
+			log.Fatal(err)
+		}
+		if err := tracez.WriteExemplars(filepath.Join(cli.OutDir, tracez.ExemplarsFile), visits, tel.Tracer.Records()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)

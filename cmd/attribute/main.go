@@ -27,9 +27,9 @@ func main() {
 	flag.Parse()
 
 	s := canvassing.New(canvassing.Options{
-		Seed: *seed, Scale: *scale, Workers: *workers,
+		Seed: *seed, Scale: *scale, Workers: *workers, TraceVisits: cli.Tracez,
 	})
-	plane, err := ops.Start(cli, s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry(), s.Visits())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,8 +28,9 @@ func main() {
 
 	s := canvassing.New(canvassing.Options{
 		Seed: *seed, Scale: *scale, Workers: *workers, WithAdblock: !*skipAdblock,
+		TraceVisits: cli.Tracez,
 	})
-	plane, err := ops.Start(cli, s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry(), s.Visits())
 	if err != nil {
 		log.Fatal(err)
 	}

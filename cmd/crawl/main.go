@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/ops"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -76,7 +78,11 @@ func main() {
 	flag.Parse()
 
 	tel := obs.NewTelemetry()
-	plane, err := ops.Start(cli, tel)
+	var visits *tracez.Reservoir
+	if cli.Tracez {
+		visits = tracez.NewReservoir(*seed, 0, 0)
+	}
+	plane, err := ops.Start(cli, tel, visits)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -160,6 +166,9 @@ func main() {
 		}
 		return
 	}
+	// Visit tracing stays off the sweep path: each sweep rate runs with
+	// fresh telemetry and conditions would collide in one reservoir.
+	cfg.Visits = visits
 
 	var ckpt *checkpoint.Writer
 	if *ckptDir != "" {
@@ -243,6 +252,9 @@ func main() {
 			Notes:   fmt.Sprintf("cmd/crawl cohort=%s machine=%s adblock=%s", *cohort, *machineName, *blocker),
 		}
 		if err := bundle.Write(cli.OutDir, m, tel); err != nil {
+			log.Fatal(err)
+		}
+		if err := tracez.WriteExemplars(filepath.Join(cli.OutDir, tracez.ExemplarsFile), visits, tel.Tracer.Records()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: wrote run bundle to %s\n", cli.OutDir)

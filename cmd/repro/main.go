@@ -62,7 +62,7 @@ func main() {
 		emit(canvassing.EntropyAnalysis(48, *seed).Render(), *out)
 		return
 	case "inner", "ex2":
-		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers, AnalysisWorkers: cli.AnalysisWorkers})
+		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers, AnalysisWorkers: cli.AnalysisWorkers, TraceVisits: cli.Tracez})
 		text := s.InnerPages().Render()
 		if cli.Metrics {
 			text += "\n" + s.TelemetryReport()
@@ -87,11 +87,12 @@ func main() {
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		SnapshotReuse:   *snapshots,
+		TraceVisits:     cli.Tracez,
 	})
 	if ck := s.Checkpointer(); ck != nil {
 		ck.StopAfter = *interruptAfter
 	}
-	plane, err := ops.Start(cli, s.Telemetry())
+	plane, err := ops.Start(cli, s.Telemetry(), s.Visits())
 	if err != nil {
 		log.Fatal(err)
 	}

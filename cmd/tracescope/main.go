@@ -1,0 +1,105 @@
+// Command tracescope analyzes the trace artifacts of a run directory
+// (written with -outdir): the phase spans in trace.jsonl plus, when the
+// run used -tracez, the per-visit exemplar trees in
+// trace_exemplars.jsonl. With one run dir it prints the critical-path
+// report: per-phase wall attribution, self-time vs child-time, the
+// serial-vs-parallel overlap factor, and the slowest exemplar visits
+// with their dominant phase and fault/retry flags. With two run dirs it
+// prints a latency-profile diff ranked by attribution shift.
+//
+//	tracescope ./run                  # critical-path report
+//	tracescope ./run-a ./run-b        # latency-profile diff
+//	tracescope -folded out.txt ./run  # pprof-style folded stacks
+//
+// The folded-stack export is one "frame;frame;frame self-ns" line per
+// stack, compatible with flamegraph.pl and speedscope. Exemplar trees
+// are grouped under a visits;<condition> prefix frame.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"canvassing/internal/obs/tracez"
+)
+
+func main() {
+	top := flag.Int("top", 10, "slowest exemplar visits to print")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	folded := flag.String("folded", "", "also write pprof-style folded stacks to this path")
+	flag.Parse()
+	if n := flag.NArg(); n != 1 && n != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracescope [-top N] [-json] [-folded out.txt] <run-dir> [<run-dir-b>]")
+		os.Exit(2)
+	}
+
+	a, err := tracez.LoadRunDir(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if flag.NArg() == 2 {
+		b, err := tracez.LoadRunDir(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tracez.RenderDiff(a, b))
+		return
+	}
+
+	if *folded != "" {
+		if err := writeFolded(*folded, a); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracescope: wrote folded stacks to %s\n", *folded)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Phases *tracez.Report `json:"phases"`
+			Export *tracez.Export `json:"exemplars,omitempty"`
+		}{Phases: analyzed(a), Export: a.Export}
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(tracez.RenderReport(a, *top))
+}
+
+func analyzed(rd *tracez.RunDir) *tracez.Report {
+	rep := tracez.Analyze(rd.Phases)
+	return &rep
+}
+
+// writeFolded emits the phase spans as bare stacks and each exemplar
+// condition's visit trees under a visits;<condition> prefix, so a
+// flamegraph separates run phases from sampled visit internals.
+func writeFolded(path string, rd *tracez.RunDir) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tracez.WriteFolded(f, rd.Phases, ""); err != nil {
+		return err
+	}
+	if rd.Export != nil {
+		for _, c := range rd.Export.Conditions {
+			var forest []*tracez.Span
+			for _, vt := range append(append([]*tracez.VisitTrace{}, c.Slow...), c.Head...) {
+				if vt.Root != nil {
+					forest = append(forest, vt.Root)
+				}
+			}
+			if err := tracez.WriteFolded(f, forest, "visits;"+c.Condition); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -2,15 +2,23 @@
 // cohort sizes, crawl-success counts, TLD distribution, planted vendor
 // deployments and hosted script counts. Use it to inspect what the
 // crawler will visit before running a study.
+//
+// Observability: the shared -metrics/-trace/-pprof/-status/-tracez
+// flags apply; webgen performs no visits, so its /tracez reservoir is
+// empty and only the webgen phase span appears in the trace export.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"strings"
 
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/report"
 	"canvassing/internal/web"
 )
@@ -20,9 +28,24 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "web scale (1.0 = the paper's 20k+20k)")
 	listSites := flag.Int("sites", 0, "print the first N sites of each cohort")
 	trancoOut := flag.String("tranco", "", "export the ranking as a Tranco CSV to this path")
+	cli := obs.BindCLI(flag.CommandLine)
 	flag.Parse()
 
+	tel := obs.NewTelemetry()
+	var visits *tracez.Reservoir
+	if cli.Tracez {
+		visits = tracez.NewReservoir(*seed, 0, 0)
+	}
+	plane, err := ops.Start(cli, tel, visits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plane.Close()
+	tel.Status.MarkRunning()
+
+	sp := tel.Tracer.Start("webgen")
 	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
+	sp.End()
 
 	t := report.NewTable("Cohorts", "cohort", "sites", "crawl-ok", "with-scripts")
 	for _, cohort := range []web.Cohort{web.Popular, web.Tail} {
@@ -107,5 +130,10 @@ func main() {
 			}
 		}
 	}
-	os.Exit(0)
+
+	tel.Status.MarkDone()
+	cli.PrintMetrics(tel, os.Stderr)
+	if err := cli.WriteTrace(tel); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -60,6 +60,9 @@ func oracleBundle(t *testing.T, c oracleCase, analysisWorkers int) (string, *Stu
 		AnalysisWorkers: analysisWorkers,
 		WithAdblock:     true,
 		FaultRate:       c.fault,
+		// Per-visit tracing stays on in the oracle: capturing exemplar
+		// trees must never move a bundle byte.
+		TraceVisits: true,
 	})
 	dir := filepath.Join(t.TempDir(), "bundle")
 	if err := s.WriteBundle(dir); err != nil {

@@ -572,7 +572,7 @@ func (s *Study) Randomization(sampleSize int) RandomizationResult {
 	detectBroken := func(d *randomize.Defense) int {
 		condition := "defense-" + d.Mode().String()
 		cfg := s.crawlConfig(condition)
-		cfg.ExtractHook = d.Hook()
+		cfg.ExtractHookFor = d.PageHook
 		res := crawler.Crawl(s.Web, sample, cfg)
 		broken := 0
 		for _, p := range res.SuccessfulPages() {

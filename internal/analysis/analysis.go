@@ -31,6 +31,7 @@ import (
 	"canvassing/internal/detect"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
+	"canvassing/internal/obs/tracez"
 )
 
 // shardsPerWorker oversizes the shard count relative to the pool so a
@@ -59,6 +60,7 @@ type Executor struct {
 	workers int
 	cache   *Cache
 	tel     *obs.Telemetry
+	visits  *tracez.Reservoir
 
 	mu   sync.Mutex
 	runs []RunStats
@@ -83,6 +85,14 @@ func (ex *Executor) Workers() int { return ex.workers }
 
 // Cache returns the executor's memo cache (nil if disabled).
 func (ex *Executor) Cache() *Cache { return ex.cache }
+
+// SetVisits points the executor at the study's exemplar reservoir:
+// each AnalyzeAll then offers one per-shard batch span (kind "batch",
+// condition "analyze.<crawl>"). Batch exemplars describe the actual
+// shard fan-out — a function of the worker count — so the reservoir
+// excludes them from its deterministic selection key. Replay never
+// records batches, mirroring its no-telemetry contract.
+func (ex *Executor) SetVisits(r *tracez.Reservoir) { ex.visits = r }
 
 // Runs returns the per-invocation stats in call order.
 func (ex *Executor) Runs() []RunStats {
@@ -145,6 +155,17 @@ func (ex *Executor) run(pages []*crawler.PageResult, sink event.Recorder, crawl 
 	}
 
 	bufs := make([]event.Buffer, numShards)
+	// batches collects one span tree per shard when exemplar capture is
+	// on; workers fill their own slots, and the offers happen after the
+	// pool drains, in shard order — the executor's commit point.
+	var batches []*tracez.VisitTrace
+	if ex.visits != nil && !silent {
+		batches = make([]*tracez.VisitTrace, numShards)
+	}
+	condLabel := crawl
+	if condLabel == "" {
+		condLabel = "unlabeled"
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -161,8 +182,23 @@ func (ex *Executor) run(pages []*crawler.PageResult, sink event.Recorder, crawl 
 				if hi > n {
 					hi = n
 				}
+				var bb *tracez.Builder
+				if batches != nil {
+					bb = tracez.NewBatch("analyze."+condLabel, fmt.Sprintf("shard-%04d", si), si)
+					bb.Root().SetLabel("pages", fmt.Sprint(hi-lo))
+					bb.Root().SetLabel("range", fmt.Sprintf("%d-%d", lo, hi))
+				}
+				shardCanvases := 0
 				for i := lo; i < hi; i++ {
 					out[i] = detect.AnalyzePageMemo(pages[i], rec, crawl, ex.memo(silent))
+					shardCanvases += len(out[i].All)
+				}
+				if bb != nil {
+					// Classified canvases are the shard's deterministic
+					// cost measure (pages alone would make every shard
+					// equal-cost).
+					bb.Root().Cost = int64(shardCanvases)
+					batches[si] = bb.Finish("ok")
 				}
 			}
 		}()
@@ -178,6 +214,11 @@ func (ex *Executor) run(pages []*crawler.PageResult, sink event.Recorder, crawl 
 	if sink != nil {
 		for si := range bufs {
 			bufs[si].Drain(sink)
+		}
+	}
+	for _, bt := range batches {
+		if bt != nil {
+			ex.visits.Offer(bt)
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
 )
@@ -134,6 +135,12 @@ type Config struct {
 	// ExtractHook, when non-nil, installs a canvas-randomization defense
 	// on every page (§5.3 experiments).
 	ExtractHook canvas.ExtractHook
+	// ExtractHookFor, when non-nil, builds a page-scoped defense hook
+	// per visited domain and takes precedence over ExtractHook. Page
+	// scoping keeps per-render noise a pure function of (seed, domain),
+	// independent of worker scheduling, so traced visit costs stay
+	// width- and run-invariant under a defense.
+	ExtractHookFor func(domain string) canvas.ExtractHook
 	// AutoConsent opts into consent banners, as the paper's crawler does
 	// with the autoconsent library. When false, consent-gated scripts
 	// never run.
@@ -197,6 +204,14 @@ type Config struct {
 	// CommitEvery is how many committed pages separate OnCommit calls
 	// (<=0 selects 64). The final commit always fires regardless.
 	CommitEvery int
+	// Visits, when non-nil, receives one per-visit span tree per
+	// committed page — connect/fetch/parse/exec/canvas children with
+	// retry/fault/degraded/snapshot-hit labels. Trees are offered from
+	// the committer in page order, so the reservoir's deterministic
+	// selection is identical at any worker width. Lives entirely
+	// outside the metrics registry and event sink: enabling it changes
+	// zero bundle bytes.
+	Visits *tracez.Reservoir
 	// OnCommit, when non-nil, observes the crawl's committed frontier:
 	// it is called from the committer goroutine every CommitEvery pages
 	// and once more when the crawl completes. All metric and event
@@ -273,27 +288,30 @@ type progCache struct {
 	progs map[uint64]*jsvm.Program
 }
 
-// get returns the parsed program for body and the body's cache key.
-// Hit/miss accounting does not happen here — the committer decides it
-// from the key stream in page order, so the counters are scheduling-
-// independent (two workers racing to parse the same body both insert;
-// the accounting still sees exactly one first occurrence).
-func (c *progCache) get(body string) (*jsvm.Program, uint64, error) {
+// get returns the parsed program for body, the body's cache key, and
+// whether the program was already cached. Hit/miss accounting does not
+// happen here — the committer decides it from the key stream in page
+// order, so the counters are scheduling-independent (two workers
+// racing to parse the same body both insert; the accounting still sees
+// exactly one first occurrence). The hit flag is likewise a
+// scheduling-dependent observation: it only annotates exemplar spans,
+// never metrics.
+func (c *progCache) get(body string) (*jsvm.Program, uint64, bool, error) {
 	key := stats.HashString(body)
 	c.mu.RLock()
 	p, ok := c.progs[key]
 	c.mu.RUnlock()
 	if ok {
-		return p, key, nil
+		return p, key, true, nil
 	}
 	p, err := jsvm.Parse(body)
 	if err != nil {
-		return nil, key, err
+		return nil, key, false, err
 	}
 	c.mu.Lock()
 	c.progs[key] = p
 	c.mu.Unlock()
-	return p, key, nil
+	return p, key, false, nil
 }
 
 // crawlMetrics holds the pre-resolved metric handles for one crawl.
@@ -392,6 +410,9 @@ type pageDelta struct {
 	// snapURLs are the URLs fetched through the snapshot store, for
 	// commit-time hit/miss accounting.
 	snapURLs []string
+	// trace is the visit's span tree when Config.Visits is set; the
+	// committer offers it to the reservoir in page order.
+	trace *tracez.VisitTrace
 }
 
 type counterDelta struct {
@@ -583,6 +604,11 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 				delete(pending, next)
 				res.Pages[next] = nr.pr
 				nr.d.apply(mx, evs, cfg.Snapshots, seen, &seenOrder)
+				// Exemplar offers ride the ordered-commit point too, so
+				// the reservoir sees visits in page order at any width.
+				if cfg.Visits != nil && nr.d.trace != nil {
+					cfg.Visits.Offer(nr.d.trace)
+				}
 				next++
 				sinceCommit++
 				st.CrawlProgress(cfg.Condition, next, len(sites), false)
@@ -619,7 +645,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 				if mx != nil {
 					t0 = time.Now()
 				}
-				pr, d := visit(w, sites[j.i], cfg, cache, mx, evs)
+				pr, d := visit(w, sites[j.i], j.i, cfg, cache, mx, evs)
 				if mx != nil {
 					el := time.Since(t0)
 					busy += el
@@ -660,8 +686,9 @@ feed:
 
 // visit performs one page load. All shared-telemetry writes are
 // buffered into the returned pageDelta; the committer applies them in
-// page-index order.
-func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMetrics, evs *event.Sink) (*PageResult, *pageDelta) {
+// page-index order. idx is the page index within the crawl — the
+// deterministic identity exemplar span trees carry.
+func visit(w *web.Web, site *web.Site, idx int, cfg Config, cache *progCache, mx *crawlMetrics, evs *event.Sink) (*PageResult, *pageDelta) {
 	d := &pageDelta{}
 	pr := &PageResult{
 		Domain:        site.Domain,
@@ -671,6 +698,18 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		ScriptMethods: map[string]map[string]bool{},
 		ScriptErrors:  map[string]string{},
 	}
+	// vb builds the visit's span tree when exemplar capture is on. It
+	// buffers into the delta like everything else a worker observes;
+	// the committer offers the finished tree in page order.
+	var vb *tracez.Builder
+	finishTrace := func(outcome string) {
+		if vb != nil {
+			d.trace = vb.Finish(outcome)
+		}
+	}
+	if cfg.Visits != nil {
+		vb = tracez.NewVisit(cfg.Condition, site.Domain, site.Rank, idx)
+	}
 	if !site.CrawlOK {
 		pr.FailReason = FailUnreachable
 		if mx != nil {
@@ -679,6 +718,7 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if cfg.Faults != nil {
 			recordVisitOutcome(d, evs, &cfg, site, FailUnreachable, netsim.FaultNone, 0)
 		}
+		finishTrace(FailUnreachable)
 		return pr, d
 	}
 	// The connection phase: under fault injection the visit must first
@@ -689,8 +729,24 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	planKind := netsim.FaultNone
 	if cfg.Faults != nil {
 		planKind = cfg.Faults.PlanFor(site.Domain).Kind
+		var connSp *tracez.Span
+		if vb != nil {
+			connSp = vb.Open(vb.Root(), "connect")
+		}
 		var reason string
 		truncate, reason, attempts = connect(site.Domain, &cfg, mx, d)
+		if connSp != nil {
+			// Attempts are the connection phase's deterministic cost:
+			// a function of (seed, site), never of scheduling.
+			connSp.Cost = int64(attempts)
+			if planKind != netsim.FaultNone {
+				connSp.SetLabel("fault", planKind.String())
+			}
+			if attempts > 1 {
+				connSp.SetLabel("retries", fmt.Sprint(attempts-1))
+			}
+			vb.Close(connSp)
+		}
 		if reason != "" {
 			pr.OK = false
 			pr.FailReason = reason
@@ -698,6 +754,7 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 				d.inc(mx.visitsFailed)
 			}
 			recordVisitOutcome(d, evs, &cfg, site, reason, planKind, attempts)
+			finishTrace(reason)
 			return pr, d
 		}
 	}
@@ -709,7 +766,9 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		RandSeed: cfg.Seed ^ stats.HashString("page:"+site.Domain),
 	})
 	doc := dom.NewDocument(cfg.Profile, site.Domain)
-	if cfg.ExtractHook != nil {
+	if cfg.ExtractHookFor != nil {
+		doc.ExtractHook = cfg.ExtractHookFor(site.Domain)
+	} else if cfg.ExtractHook != nil {
 		doc.ExtractHook = cfg.ExtractHook
 	}
 
@@ -756,17 +815,37 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	}
 
 	runScript := func(ps web.PageScript, truncated bool) {
+		// Per-script span: fetch → parse → exec children, with a
+		// virtual canvas child accounting the script's canvas calls.
+		var ssp *tracez.Span
+		closeScript := func() {
+			if ssp != nil {
+				vb.Close(ssp)
+			}
+		}
+		if vb != nil {
+			ssp = vb.Open(vb.Root(), "script")
+			ssp.SetLabel("url", ps.URL.String())
+		}
 		if truncated {
 			pr.ScriptErrors[ps.URL.String()] = "fetch: truncated response"
 			if mx != nil {
 				d.inc(mx.scriptErrors)
 			}
+			if ssp != nil {
+				ssp.SetLabel("truncated", "true")
+			}
+			closeScript()
 			return
 		}
 		if ps.NeedsConsent && !cfg.AutoConsent {
 			if mx != nil {
 				d.inc(mx.consentSkip)
 			}
+			if ssp != nil {
+				ssp.SetLabel("consent", "skipped")
+			}
+			closeScript()
 			return // banner never accepted: gated tag stays dormant
 		}
 		req := blocklist.Request{
@@ -795,14 +874,36 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 					Detail:   list,
 				})
 			}
+			if ssp != nil {
+				ssp.SetLabel("blocked", "true")
+			}
+			closeScript()
 			return
 		}
-		body, err := fetchBody(w, ps.URL, cfg.Snapshots, d)
+		var fetchSp *tracez.Span
+		if ssp != nil {
+			fetchSp = vb.Open(ssp, "fetch")
+		}
+		body, snapHit, err := fetchBody(w, ps.URL, cfg.Snapshots, d)
+		if fetchSp != nil {
+			// Body bytes are the fetch's deterministic cost.
+			fetchSp.Cost = int64(len(body))
+			if cfg.Snapshots != nil && err == nil {
+				// Whether THIS crawl's worker hit the snapshot store is
+				// scheduling-dependent: label only, never selection.
+				fetchSp.SetLabel("snapshot", map[bool]string{true: "hit", false: "miss"}[snapHit])
+			}
+			vb.Close(fetchSp)
+		}
 		if err != nil {
 			pr.ScriptErrors[req.URL] = fmt.Sprintf("fetch: %v", err)
 			if mx != nil {
 				d.inc(mx.scriptErrors)
 			}
+			if ssp != nil {
+				ssp.SetLabel("error", "fetch")
+			}
+			closeScript()
 			return
 		}
 		var prog *jsvm.Program
@@ -810,15 +911,24 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 		if mx != nil {
 			parseStart = time.Now()
 		}
+		var parseSp *tracez.Span
+		if ssp != nil {
+			parseSp = vb.Open(ssp, "parse")
+			parseSp.Cost = int64(len(body))
+		}
 		if cfg.DisableParseCache {
 			prog, err = jsvm.Parse(body)
 			if mx != nil {
 				// Ablation parses bypass the cache: a miss every time.
 				d.forcedMisses++
 			}
+			if parseSp != nil {
+				parseSp.SetLabel("cache", "off")
+			}
 		} else {
 			var key uint64
-			prog, key, err = cache.get(body)
+			var cached bool
+			prog, key, cached, err = cache.get(body)
 			if mx != nil {
 				if err != nil {
 					// Parse errors are never cached, so every lookup of an
@@ -829,21 +939,53 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 					d.parseKeys = append(d.parseKeys, key)
 				}
 			}
+			if parseSp != nil {
+				// Which worker parses first races across widths: exemplar
+				// annotation only, excluded from selection.
+				parseSp.SetLabel("cache", map[bool]string{true: "hit", false: "miss"}[cached])
+			}
+		}
+		if parseSp != nil {
+			vb.Close(parseSp)
 		}
 		if mx != nil {
 			d.observeDuration(mx.parseTime, time.Since(parseStart))
 		}
 		if err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
+			if ssp != nil {
+				ssp.SetLabel("error", "parse")
+			}
+			closeScript()
 			return
 		}
 		prev := currentScript
 		currentScript = req.URL
 		in.ResetSteps()
+		seqBefore := seq
+		var execSp *tracez.Span
+		if ssp != nil {
+			execSp = vb.Open(ssp, "exec")
+		}
 		if _, err := in.Run(prog); err != nil {
 			pr.ScriptErrors[req.URL] = err.Error()
 			if mx != nil {
 				d.inc(mx.scriptErrors)
+			}
+			if execSp != nil {
+				execSp.SetLabel("error", "exec")
+			}
+		}
+		if execSp != nil {
+			// Interpreter steps are the dominant deterministic cost.
+			execSp.Cost = int64(in.Steps())
+			vb.Close(execSp)
+			if calls := seq - seqBefore; calls > 0 {
+				// Virtual child: canvas-call accounting. Wall stays zero
+				// (calls happen inside exec); cost carries the weight.
+				canvasSp := vb.Open(execSp, "canvas")
+				canvasSp.Cost = int64(calls)
+				canvasSp.Off = execSp.Off
 			}
 		}
 		if mx != nil {
@@ -851,6 +993,7 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 			d.observe(mx.vmSteps, float64(in.Steps()))
 		}
 		currentScript = prev
+		closeScript()
 	}
 
 	// First pass: immediate scripts; second pass: scroll-gated scripts.
@@ -875,31 +1018,47 @@ func visit(w *web.Web, site *web.Site, cfg Config, cache *progCache, mx *crawlMe
 	if mx != nil {
 		d.add(mx.extractions, int64(len(pr.Extractions)))
 	}
-	if cfg.Faults != nil {
-		verdict := "ok"
-		if pr.Degraded {
-			verdict = "degraded"
-			if mx != nil && mx.faults != nil {
-				d.inc(mx.faults.degraded)
-			}
-		}
-		recordVisitOutcome(d, evs, &cfg, site, verdict, planKind, attempts)
+	outcome := "ok"
+	if pr.Degraded {
+		outcome = "degraded"
 	}
+	if cfg.Faults != nil {
+		if pr.Degraded && mx != nil && mx.faults != nil {
+			d.inc(mx.faults.degraded)
+		}
+		recordVisitOutcome(d, evs, &cfg, site, outcome, planKind, attempts)
+	}
+	if vb != nil {
+		root := vb.Root()
+		if pr.Degraded {
+			root.SetLabel("degraded", "true")
+		}
+		if n := len(pr.Extractions); n > 0 {
+			root.SetLabel("extractions", fmt.Sprint(n))
+		}
+		root.SetLabel("scripts", fmt.Sprint(len(site.Scripts)))
+	}
+	finishTrace(outcome)
 	return pr, d
 }
 
 // fetchBody retrieves one script body, through the snapshot store when
 // one is configured. Successful snapshot reads are noted in the delta
-// so the committer can account hits/misses in page order.
-func fetchBody(w *web.Web, u netsim.URL, snaps SnapshotStore, d *pageDelta) (string, error) {
+// so the committer can account hits/misses in page order. The hit flag
+// reports whether the store already held the body (always false
+// without a store); it annotates exemplar spans only — commit-time
+// accounting stays the deterministic authority.
+func fetchBody(w *web.Web, u netsim.URL, snaps SnapshotStore, d *pageDelta) (string, bool, error) {
 	if snaps == nil {
 		r, err := w.Store.Fetch(u)
 		if err != nil {
-			return "", err
+			return "", false, err
 		}
-		return r.Body, nil
+		return r.Body, false, nil
 	}
+	fetched := false
 	body, err := snaps.Fetch(u, func() (string, error) {
+		fetched = true
 		r, err := w.Store.Fetch(u)
 		if err != nil {
 			return "", err
@@ -907,10 +1066,10 @@ func fetchBody(w *web.Web, u netsim.URL, snaps SnapshotStore, d *pageDelta) (str
 		return r.Body, nil
 	})
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	d.snapURLs = append(d.snapURLs, u.String())
-	return body, nil
+	return body, !fetched, nil
 }
 
 // recordVisitOutcome buffers the visit.outcome evidence event: how the

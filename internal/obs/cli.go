@@ -30,6 +30,11 @@ type CLI struct {
 	Window time.Duration
 	// OutDir is the run-bundle output directory ("" = off).
 	OutDir string
+	// Tracez enables per-visit span-tree capture into the bounded
+	// exemplar reservoir: served live at /tracez on the ops plane and
+	// written as trace_exemplars.jsonl next to the bundle with
+	// -outdir. Never changes bundle bytes.
+	Tracez bool
 	// AnalysisWorkers is the post-crawl analysis pool width (0 =
 	// follow the crawler worker count). Any width yields the same
 	// bundle bytes; the knob only trades wall-clock for cores.
@@ -46,6 +51,7 @@ func BindCLI(fs *flag.FlagSet) *CLI {
 	fs.StringVar(&c.Status, "status", "", "serve the live ops plane (/statusz, /healthz, /readyz, /metrics.prom, /red, ...) on this address during the run")
 	fs.DurationVar(&c.Window, "window", 0, "sliding window for the live RED metric views (default 1m)")
 	fs.StringVar(&c.OutDir, "outdir", "", "write a run bundle (manifest, metrics, trace, events, reports) to this directory")
+	fs.BoolVar(&c.Tracez, "tracez", false, "capture per-visit span trees into the bounded exemplar reservoir (/tracez endpoint; trace_exemplars.jsonl with -outdir)")
 	fs.IntVar(&c.AnalysisWorkers, "analysis-workers", 0, "analysis worker pool width (0 = same as crawler workers; output is identical at any width)")
 	return c
 }

@@ -14,6 +14,7 @@
 //	/metrics.prom  registry in Prometheus text exposition format
 //	/red           sliding-window RED view (rates, ratios, latencies)
 //	/statusz       live run status: phases, frontier, ETA (JSON or HTML)
+//	/tracez        trace analytics: critical path + slowest-visit exemplars
 package ops
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/prom"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/obs/window"
 )
 
@@ -70,8 +72,9 @@ func BuildStatusz(tel *obs.Telemetry, view *window.View) Statusz {
 	return st
 }
 
-// Routes returns the ops-plane extras to layer onto the obs mux.
-func Routes(tel *obs.Telemetry, view *window.View) []obs.Route {
+// Routes returns the ops-plane extras to layer onto the obs mux. The
+// reservoir may be nil (visit tracing off): /tracez then answers 404.
+func Routes(tel *obs.Telemetry, view *window.View, visits *tracez.Reservoir) []obs.Route {
 	return []obs.Route{
 		{Pattern: "/metrics.prom", Desc: "metrics registry (Prometheus text exposition)",
 			Handler: prom.Handler(tel.Metrics)},
@@ -79,13 +82,15 @@ func Routes(tel *obs.Telemetry, view *window.View) []obs.Route {
 			Handler: redHandler(view)},
 		{Pattern: "/statusz", Desc: "live run status: phases, crawl frontier, ETA (JSON; HTML for browsers)",
 			Handler: statuszHandler(tel, view)},
+		{Pattern: "/tracez", Desc: "trace analytics: critical path, phase attribution, slowest-visit exemplars (JSON; HTML for browsers)",
+			Handler: tracez.Handler(tel, visits)},
 	}
 }
 
 // NewMux builds the full ops-plane mux: every obs debug endpoint plus
-// the exposition, RED, and status routes.
-func NewMux(tel *obs.Telemetry, withPprof bool, view *window.View) *http.ServeMux {
-	return obs.NewMux(tel, withPprof, Routes(tel, view)...)
+// the exposition, RED, status, and trace-analytics routes.
+func NewMux(tel *obs.Telemetry, withPprof bool, view *window.View, visits *tracez.Reservoir) *http.ServeMux {
+	return obs.NewMux(tel, withPprof, Routes(tel, view, visits)...)
 }
 
 // redHandler serves the windowed RED snapshot as JSON. A nil view
@@ -212,9 +217,10 @@ func (p *Plane) Close() error {
 
 // Serve builds a windowed view over tel's registry, starts its
 // sampler, and serves the full ops plane on addr (":0" picks a port).
-func Serve(addr string, tel *obs.Telemetry, withPprof bool, win time.Duration) (*Plane, error) {
+// visits may be nil when the run captures no exemplars.
+func Serve(addr string, tel *obs.Telemetry, withPprof bool, win time.Duration, visits *tracez.Reservoir) (*Plane, error) {
 	view := window.New(tel.Metrics, win)
-	srv, err := obs.StartServer(addr, NewMux(tel, withPprof, view))
+	srv, err := obs.StartServer(addr, NewMux(tel, withPprof, view, visits))
 	if err != nil {
 		return nil, err
 	}
@@ -225,13 +231,13 @@ func Serve(addr string, tel *obs.Telemetry, withPprof bool, win time.Duration) (
 // Start serves the ops plane when the parsed CLI asked for one
 // (-status or -pprof) and reports the bound address on stderr. With
 // neither flag set it returns (nil, nil); the nil Plane's methods are
-// all no-ops.
-func Start(cli *obs.CLI, tel *obs.Telemetry) (*Plane, error) {
+// all no-ops. visits feeds /tracez and may be nil.
+func Start(cli *obs.CLI, tel *obs.Telemetry, visits *tracez.Reservoir) (*Plane, error) {
 	addr, withPprof := cli.OpsAddr()
 	if addr == "" {
 		return nil, nil
 	}
-	p, err := Serve(addr, tel, withPprof, cli.Window)
+	p, err := Serve(addr, tel, withPprof, cli.Window, visits)
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,7 @@ func testPlane(t *testing.T) (*obs.Telemetry, *window.View, *httptest.Server) {
 	tel.Metrics.Counter("crawl.visits.failed").Add(10)
 	tel.Metrics.Histogram("crawl.visit.seconds", obs.LatencyBuckets()).Observe(0.2)
 	view := window.New(tel.Metrics, 10*time.Second)
-	srv := httptest.NewServer(NewMux(tel, false, view))
+	srv := httptest.NewServer(NewMux(tel, false, view, nil))
 	t.Cleanup(srv.Close)
 	return tel, view, srv
 }
@@ -86,7 +86,7 @@ func TestREDEndpoint(t *testing.T) {
 
 func TestREDDisabled(t *testing.T) {
 	tel := obs.NewTelemetry()
-	srv := httptest.NewServer(NewMux(tel, false, nil))
+	srv := httptest.NewServer(NewMux(tel, false, nil, nil))
 	defer srv.Close()
 	if code, _ := get(t, srv.URL+"/red"); code != 404 {
 		t.Fatalf("nil view /red status %d, want 404", code)
@@ -202,7 +202,7 @@ func TestIndexListsOpsRoutes(t *testing.T) {
 // down gracefully.
 func TestServeLifecycle(t *testing.T) {
 	tel := obs.NewTelemetry()
-	plane, err := Serve("127.0.0.1:0", tel, false, time.Second)
+	plane, err := Serve("127.0.0.1:0", tel, false, time.Second, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestServeLifecycle(t *testing.T) {
 func TestStartRespectsFlags(t *testing.T) {
 	tel := obs.NewTelemetry()
 
-	plane, err := Start(&obs.CLI{}, tel)
+	plane, err := Start(&obs.CLI{}, tel, nil)
 	if err != nil || plane != nil {
 		t.Fatalf("no-flag Start = %v, %v", plane, err)
 	}
@@ -236,7 +236,7 @@ func TestStartRespectsFlags(t *testing.T) {
 		t.Fatal("nil plane methods must no-op")
 	}
 
-	plane, err = Start(&obs.CLI{Status: "127.0.0.1:0", Window: time.Second}, tel)
+	plane, err = Start(&obs.CLI{Status: "127.0.0.1:0", Window: time.Second}, tel, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestStartRespectsFlags(t *testing.T) {
 		t.Fatal("-status must not expose pprof")
 	}
 
-	pp, err := Start(&obs.CLI{Status: "ignored", Pprof: "127.0.0.1:0"}, tel)
+	pp, err := Start(&obs.CLI{Status: "ignored", Pprof: "127.0.0.1:0"}, tel, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

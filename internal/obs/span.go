@@ -46,20 +46,25 @@ type SpanObserver interface {
 	SpanEnded(name string, root bool, d time.Duration)
 }
 
-// Tracer collects spans. It is safe for concurrent use; finished
-// spans accumulate in memory (a study produces tens of spans, not
-// millions) and can be drained as records or JSON lines.
+// Tracer collects spans. It is safe for concurrent use. Finished
+// spans accumulate in memory: a study's pipeline phases number in the
+// tens (per-visit span trees live in internal/obs/tracez's bounded
+// reservoir, never here), but a long-running service that opens phase
+// spans forever should either bound the buffer with SetRetention or
+// periodically Drain it.
 type Tracer struct {
 	// Observer, when non-nil, is notified as spans start and end. Set
 	// it before the first span starts (NewTelemetry does); it must not
 	// be mutated afterwards.
 	Observer SpanObserver
 
-	mu     sync.Mutex
-	nextID int64
-	done   []SpanRecord
-	active map[int64]*Span
-	now    func() time.Time // test seam
+	mu      sync.Mutex
+	nextID  int64
+	done    []SpanRecord
+	limit   int    // max retained finished spans; 0 = unbounded
+	dropped uint64 // finished spans discarded by the retention bound
+	active  map[int64]*Span
+	now     func() time.Time // test seam
 }
 
 // NewTracer returns an empty tracer.
@@ -133,6 +138,11 @@ func (sp *Span) End() time.Duration {
 		Start:    sp.start,
 		Duration: d,
 	})
+	if t.limit > 0 && len(t.done) > t.limit {
+		over := len(t.done) - t.limit
+		t.dropped += uint64(over)
+		t.done = append(t.done[:0], t.done[over:]...)
+	}
 	delete(t.active, sp.id)
 	t.mu.Unlock()
 	if t.Observer != nil {
@@ -170,6 +180,44 @@ func (t *Tracer) Records() []SpanRecord {
 	defer t.mu.Unlock()
 	out := make([]SpanRecord, len(t.done))
 	copy(out, t.done)
+	return out
+}
+
+// SetRetention bounds the finished-span buffer to the most recent n
+// records; older records are discarded oldest-first as new spans end
+// and counted in DroppedSpans. n <= 0 restores unbounded retention.
+// An already-oversized buffer is trimmed immediately.
+func (t *Tracer) SetRetention(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 {
+		t.limit = 0
+		return
+	}
+	t.limit = n
+	if over := len(t.done) - n; over > 0 {
+		t.dropped += uint64(over)
+		t.done = append(t.done[:0], t.done[over:]...)
+	}
+}
+
+// DroppedSpans reports how many finished spans the retention bound has
+// discarded since the tracer was created.
+func (t *Tracer) DroppedSpans() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Drain returns all finished spans in end order and removes them from
+// the tracer, so a long-running process can ship spans elsewhere
+// (export, aggregation) without the buffer growing forever. In-flight
+// spans are untouched and will land in the next Drain.
+func (t *Tracer) Drain() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.done
+	t.done = nil
 	return out
 }
 

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerRetention pins the bounded-buffer regression surface: with
+// SetRetention(n) the tracer keeps only the n most recent finished
+// spans, counts the discards, and an oversized buffer is trimmed the
+// moment the bound is applied.
+func TestTracerRetention(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+	tr.SetRetention(3)
+	for i := 0; i < 10; i++ {
+		tr.Start(fmt.Sprintf("phase-%02d", i)).End()
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	for i, want := range []string{"phase-07", "phase-08", "phase-09"} {
+		if recs[i].Name != want {
+			t.Fatalf("record %d = %q, want %q (oldest must drop first)", i, recs[i].Name, want)
+		}
+	}
+	if got := tr.DroppedSpans(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+
+	// Tightening the bound trims immediately.
+	tr.SetRetention(1)
+	if recs := tr.Records(); len(recs) != 1 || recs[0].Name != "phase-09" {
+		t.Fatalf("after tighten: %+v", recs)
+	}
+	if got := tr.DroppedSpans(); got != 9 {
+		t.Fatalf("dropped after tighten = %d, want 9", got)
+	}
+
+	// n <= 0 restores unbounded retention.
+	tr.SetRetention(0)
+	for i := 0; i < 5; i++ {
+		tr.Start("more").End()
+	}
+	if got := len(tr.Records()); got != 6 {
+		t.Fatalf("unbounded records = %d, want 6", got)
+	}
+	if got := tr.DroppedSpans(); got != 9 {
+		t.Fatalf("dropped must not grow unbounded-mode: %d", got)
+	}
+}
+
+// TestTracerDrain: Drain hands back the finished spans in end order and
+// empties the buffer; in-flight spans survive and land in the next
+// Drain.
+func TestTracerDrain(t *testing.T) {
+	tr := NewTracer()
+	tr.now = fakeClock(time.Millisecond)
+	open := tr.Start("still-open")
+	tr.Start("a").End()
+	tr.Start("b").End()
+
+	got := tr.Drain()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("first drain = %+v", got)
+	}
+	if len(tr.Records()) != 0 {
+		t.Fatal("drain must empty the finished buffer")
+	}
+	if len(tr.Active()) != 1 {
+		t.Fatal("drain must not touch in-flight spans")
+	}
+
+	open.End()
+	got = tr.Drain()
+	if len(got) != 1 || got[0].Name != "still-open" {
+		t.Fatalf("second drain = %+v", got)
+	}
+	if got := tr.Drain(); len(got) != 0 {
+		t.Fatalf("drain of empty tracer = %+v", got)
+	}
+}
+
+// churnObserver counts span lifecycle callbacks under its own lock, as
+// the SpanObserver contract requires of implementations.
+type churnObserver struct {
+	mu                   sync.Mutex
+	started, ended       int
+	rootStart, rootEnded int
+}
+
+func (o *churnObserver) SpanStarted(name string, root bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started++
+	if root {
+		o.rootStart++
+	}
+}
+
+func (o *churnObserver) SpanEnded(name string, root bool, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ended++
+	if root {
+		o.rootEnded++
+	}
+}
+
+// TestSpanObserverConcurrentChurn drives root and child spans from many
+// goroutines at once — the shape of a crawl with per-worker phase spans
+// — and checks every start saw a matching end with the root flag intact.
+// Run under -race this also pins the "callbacks outside the tracer
+// lock" discipline.
+func TestSpanObserverConcurrentChurn(t *testing.T) {
+	obsv := &churnObserver{}
+	tr := NewTracer()
+	tr.Observer = obsv
+	tr.SetRetention(64) // churn far past the bound on purpose
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.Start(fmt.Sprintf("w%d", w))
+				c1 := root.StartChild("child-a")
+				c2 := root.StartChild("child-b")
+				c2.End()
+				c1.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	wantTotal := workers * perWorker * 3
+	wantRoots := workers * perWorker
+	obsv.mu.Lock()
+	defer obsv.mu.Unlock()
+	if obsv.started != wantTotal || obsv.ended != wantTotal {
+		t.Fatalf("observer saw %d starts / %d ends, want %d each", obsv.started, obsv.ended, wantTotal)
+	}
+	if obsv.rootStart != wantRoots || obsv.rootEnded != wantRoots {
+		t.Fatalf("root callbacks %d/%d, want %d each", obsv.rootStart, obsv.rootEnded, wantRoots)
+	}
+	if len(tr.Active()) != 0 {
+		t.Fatalf("active after churn = %d, want 0", len(tr.Active()))
+	}
+	if got := len(tr.Records()); got != 64 {
+		t.Fatalf("retention bound violated: %d records, want 64", got)
+	}
+	if got := tr.DroppedSpans(); got != uint64(wantTotal-64) {
+		t.Fatalf("dropped = %d, want %d", got, wantTotal-64)
+	}
+}

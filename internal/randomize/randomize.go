@@ -81,6 +81,25 @@ func (d *Defense) Hook() canvas.ExtractHook {
 	}
 }
 
+// PageHook returns an extraction hook scoped to one page visit. The
+// per-render discipline draws noise from (seed, domain, render ordinal
+// within the page) rather than the process-global counter Hook uses,
+// so the noise a visit sees — and everything downstream of it, like
+// interpreter step counts feeding traced visit cost — is a pure
+// function of the page, independent of worker scheduling. Per-session
+// noise is already content-keyed and needs no scoping.
+func (d *Defense) PageHook(domain string) canvas.ExtractHook {
+	if d.mode == PerSession {
+		return d.Hook()
+	}
+	base := d.seed ^ stats.HashString("defense-page:"+domain)
+	var renders uint64
+	return func(img *raster.Image) *raster.Image {
+		renders++
+		return addNoise(img, base^renders, d.Amplitude)
+	}
+}
+
 // addNoise perturbs ~1/16 of pixels' low bits deterministically from seed.
 func addNoise(img *raster.Image, seed uint64, amplitude int) *raster.Image {
 	out := img.Clone()

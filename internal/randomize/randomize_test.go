@@ -98,3 +98,47 @@ func TestModeString(t *testing.T) {
 		t.Fatal("mode accessor")
 	}
 }
+
+func TestPageHookSchedulingInvariant(t *testing.T) {
+	// Per-render noise from a page-scoped hook must be a pure function
+	// of (seed, domain, render ordinal) — re-deriving the hook, or
+	// interleaving renders for other domains in between, cannot change
+	// what a given page sees. This is what keeps traced visit costs
+	// width- and run-invariant under a defense (global-counter hooks
+	// hand out noise in worker-scheduling order).
+	d := NewDefense(PerRender, 7)
+	solo := []string{}
+	h := d.PageHook("a.example")
+	solo = append(solo, renderOnce(h), renderOnce(h))
+
+	// Same domain, fresh hook, with another domain's renders racing in
+	// program order between ours.
+	d2 := NewDefense(PerRender, 7)
+	ha := d2.PageHook("a.example")
+	hb := d2.PageHook("b.example")
+	interleaved := []string{renderOnce(ha)}
+	renderOnce(hb)
+	interleaved = append(interleaved, renderOnce(ha))
+	renderOnce(hb)
+
+	for i := range solo {
+		if solo[i] != interleaved[i] {
+			t.Fatalf("render %d for a.example depends on other pages' schedule", i)
+		}
+	}
+	if solo[0] == solo[1] {
+		t.Fatal("page-scoped per-render noise must still change every extraction")
+	}
+	if renderOnce(d2.PageHook("b.example")) == solo[0] {
+		t.Fatal("different domains must draw different noise")
+	}
+}
+
+func TestPageHookPerSessionDelegates(t *testing.T) {
+	d := NewDefense(PerSession, 3)
+	a := renderOnce(d.PageHook("a.example"))
+	b := renderOnce(d.PageHook("b.example"))
+	if a != b {
+		t.Fatal("per-session noise is content-keyed; page scoping must not change it")
+	}
+}

@@ -38,7 +38,7 @@ func TestOpsPlaneBundleInvariance(t *testing.T) {
 	// Observed run: build the study first so the plane serves its
 	// telemetry, then drive the pipeline while a scraper loops.
 	s := New(opts)
-	plane, err := ops.Serve("127.0.0.1:0", s.Telemetry(), false, 500*time.Millisecond)
+	plane, err := ops.Serve("127.0.0.1:0", s.Telemetry(), false, 500*time.Millisecond, s.Visits())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestStatuszLiveIntegration(t *testing.T) {
 	// the production default — the visit rate (and thus the ETA) must
 	// be available within this short crawl.
 	view := window.New(s.Telemetry().Metrics, 10*time.Second)
-	srv, err := obs.StartServer("127.0.0.1:0", ops.NewMux(s.Telemetry(), false, view))
+	srv, err := obs.StartServer("127.0.0.1:0", ops.NewMux(s.Telemetry(), false, view, s.Visits()))
 	if err != nil {
 		t.Fatal(err)
 	}

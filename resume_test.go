@@ -56,6 +56,9 @@ func resumeOpts(c resumeCase, dir string) Options {
 		CheckpointDir:   dir,
 		CheckpointEvery: 100,
 		SnapshotReuse:   true,
+		// The resume oracle runs with per-visit tracing on: interrupt,
+		// resume, and exemplar capture must not perturb the bundle.
+		TraceVisits: true,
 	}
 }
 

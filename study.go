@@ -31,6 +31,7 @@ import (
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
+	"canvassing/internal/obs/tracez"
 	"canvassing/internal/snapshot"
 	"canvassing/internal/stats"
 	"canvassing/internal/web"
@@ -80,6 +81,14 @@ type Options struct {
 	// the metrics registry, so enabling reuse leaves deterministic
 	// bundle artifacts byte-identical.
 	SnapshotReuse bool
+	// TraceVisits captures per-visit span trees from every crawl and
+	// per-shard batch spans from the analysis executor into a bounded
+	// deterministic exemplar reservoir (internal/obs/tracez). The
+	// reservoir lives outside the metrics registry and event sink, so
+	// enabling it changes zero bundle bytes; WriteBundle adds a
+	// trace_exemplars.jsonl sidecar next to the bundle, and the ops
+	// plane serves the live view at /tracez.
+	TraceVisits bool
 }
 
 // Crawl condition labels used in the evidence event log. Bundle diffs
@@ -137,6 +146,7 @@ type Study struct {
 	tel        *obs.Telemetry
 	analyzer   *analysis.Executor
 	ckpt       *checkpoint.Writer
+	visits     *tracez.Reservoir // exemplar reservoir (nil unless TraceVisits)
 	randCache  map[int]RandomizationResult
 }
 
@@ -150,6 +160,11 @@ func (s *Study) Checkpointer() *checkpoint.Writer { return s.ckpt }
 // Telemetry().Metrics.RenderText(), the PhaseTimings table, or the
 // obs HTTP mux.
 func (s *Study) Telemetry() *obs.Telemetry { return s.tel }
+
+// Visits exposes the study's exemplar reservoir (nil unless
+// Options.TraceVisits) — the /tracez payload and the
+// trace_exemplars.jsonl source.
+func (s *Study) Visits() *tracez.Reservoir { return s.visits }
 
 // New generates the web and lists without crawling. Use Run for the
 // whole pipeline.
@@ -184,6 +199,9 @@ func New(opts Options) *Study {
 			panic(err) // Options is a plain struct; marshal cannot fail
 		}
 	}
+	if opts.TraceVisits {
+		s.visits = tracez.NewReservoir(opts.Seed, 0, 0)
+	}
 	aw := opts.AnalysisWorkers
 	if aw <= 0 {
 		aw = opts.Workers
@@ -192,6 +210,7 @@ func New(opts Options) *Study {
 	// control analysis and every re-analysis, which is where the
 	// cross-condition verdict reuse comes from.
 	s.analyzer = analysis.NewExecutor(aw, analysis.NewCache(tel.Metrics), tel)
+	s.analyzer.SetVisits(s.visits)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Popular)...)
 	s.crawlSites = append(s.crawlSites, w.CohortSites(web.Tail)...)
 	tel.Status.MarkRunning()
@@ -254,6 +273,10 @@ func (s *Study) crawlConfig(condition string) crawler.Config {
 			cfg.Snapshots = s.Snapshots
 		}
 	}
+	// Every crawl — including the demo harvest — feeds the exemplar
+	// reservoir; it lives outside the registry, so this is invisible
+	// to bundles.
+	cfg.Visits = s.visits
 	return cfg
 }
 
