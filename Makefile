@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke
+.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # HTTP handlers) are the places goroutines share state; hammer them
 # under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -31,8 +31,10 @@ vet:
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseURL -fuzztime 10s ./internal/netsim
 	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
+	$(GO) test -run XXX -fuzz FuzzClassifyRequest -fuzztime 10s ./internal/serve
+	$(GO) test -run XXX -fuzz FuzzBlockQuery -fuzztime 10s ./internal/serve
 
-check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke
+check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke serve-smoke
 
 # resume-smoke is the shell-level half of the resume oracle (the Go
 # half is TestResumeOracle): run a checkpointed study to completion,
@@ -72,6 +74,26 @@ trace-smoke:
 	grep -q "^visits;control;visit" $(TSMOKE)/folded.txt
 	rm -rf $(TSMOKE)
 	@echo "trace-smoke: tracescope reports a critical path and exemplar visits from a traced run dir"
+
+# serve-smoke is the shell-level check on the verdict service: run a
+# small study, serve its bundle on a free port, probe every endpoint
+# with `serve -check`, and diff the responses against the committed
+# expectation. A drift here means the API's bytes changed — update
+# testdata/serve_smoke.expected deliberately if so.
+VSMOKE := .serve-smoke
+serve-smoke:
+	rm -rf $(VSMOKE)
+	mkdir -p $(VSMOKE)
+	$(GO) build -o $(VSMOKE)/repro ./cmd/repro
+	$(GO) build -o $(VSMOKE)/serve ./cmd/serve
+	$(VSMOKE)/repro -seed 11 -scale 0.02 -exp compare -outdir $(VSMOKE)/run >/dev/null
+	$(VSMOKE)/serve -bundle $(VSMOKE)/run -addr 127.0.0.1:0 -addr-file $(VSMOKE)/addr >$(VSMOKE)/banner.txt 2>/dev/null & echo $$! > $(VSMOKE)/pid
+	for i in $$(seq 1 100); do [ -s $(VSMOKE)/addr ] && break; sleep 0.1; done; [ -s $(VSMOKE)/addr ] || { kill $$(cat $(VSMOKE)/pid) 2>/dev/null; echo "serve-smoke: server never published its address"; exit 1; }
+	$(VSMOKE)/serve -check $$(cat $(VSMOKE)/addr) > $(VSMOKE)/out.txt; status=$$?; kill $$(cat $(VSMOKE)/pid) 2>/dev/null; [ $$status -eq 0 ]
+	grep -q "canvassing verdict service" $(VSMOKE)/banner.txt
+	diff testdata/serve_smoke.expected $(VSMOKE)/out.txt
+	rm -rf $(VSMOKE)
+	@echo "serve-smoke: every verdict endpoint answers byte-identically to the committed expectation"
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

@@ -35,11 +35,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: runsdiff [-cond-a C] [-cond-b C] <bundle-dir-a> <bundle-dir-b>")
 		os.Exit(2)
 	}
-	a, err := bundle.Load(flag.Arg(0))
+	// LoadPartial, not Load: diffing an interrupted run's partial
+	// artifacts is a deliberate debugging move here, so runsdiff warns
+	// (below) instead of refusing the way the serving path does.
+	a, err := bundle.LoadPartial(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := bundle.Load(flag.Arg(1))
+	b, err := bundle.LoadPartial(flag.Arg(1))
 	if err != nil {
 		log.Fatal(err)
 	}

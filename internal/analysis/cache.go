@@ -71,6 +71,23 @@ func (c *Cache) Warm(key detect.MemoKey, compute func() detect.Verdict) detect.V
 	return c.lookup(key, compute, false)
 }
 
+// Seed inserts a precomputed verdict without moving the counters or
+// running any compute — the verdict-service path, which rebuilds the
+// memo from a bundle's detect.classify events instead of from
+// payloads. Seeding a key that is already present is a no-op (the
+// first verdict wins, matching GetOrCompute's singleflight answer).
+func (c *Cache) Seed(key detect.MemoKey, v detect.Verdict) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return
+	}
+	e := &cacheEntry{ready: make(chan struct{}), v: v}
+	close(e.ready)
+	sh.m[key] = e
+}
+
 func (c *Cache) lookup(key detect.MemoKey, compute func() detect.Verdict, count bool) detect.Verdict {
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()

@@ -137,10 +137,37 @@ type Bundle struct {
 	Events   []event.Event
 }
 
+// CheckpointSidecar is the checkpoint file name internal/checkpoint
+// maintains next to an interrupted study's artifacts. It is duplicated
+// here (and pinned equal by a test) so the read path can reject
+// half-finished bundles without bundle importing checkpoint.
+const CheckpointSidecar = "checkpoint.json"
+
+// ErrCheckpointed marks a Load rejected because the directory holds a
+// checkpoint sidecar. Errors.Is-able so callers can branch on it.
+var ErrCheckpointed = fmt.Errorf("directory holds a %s sidecar", CheckpointSidecar)
+
 // Load reads a bundle directory. The manifest and event log are
 // required; a missing metrics.json degrades to an empty snapshot so
 // bundles from bare (untelemetered) runs still diff.
+//
+// A directory holding a checkpoint.json sidecar is rejected: the
+// sidecar means the study that wrote it was interrupted mid-run, so
+// any artifacts next to it reflect partial work — serving or diffing
+// them silently gives stale verdicts. Resume the run (cmd/repro
+// -resume) to completion first, or use LoadPartial to inspect the
+// partial artifacts deliberately.
 func Load(dir string) (*Bundle, error) {
+	if _, err := os.Stat(filepath.Join(dir, CheckpointSidecar)); err == nil {
+		return nil, fmt.Errorf("bundle: refusing to load %s: %w — the run was interrupted and these artifacts are partial; resume it to completion first (or load with LoadPartial to inspect anyway)", dir, ErrCheckpointed)
+	}
+	return LoadPartial(dir)
+}
+
+// LoadPartial is Load without the checkpoint-sidecar guard — for
+// callers that knowingly inspect an interrupted run's artifacts
+// (cmd/runsdiff warns and proceeds).
+func LoadPartial(dir string) (*Bundle, error) {
 	b := &Bundle{Dir: dir}
 	mf, err := os.ReadFile(filepath.Join(dir, ManifestFile))
 	if err != nil {

@@ -1,11 +1,13 @@
 package bundle
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"canvassing/internal/checkpoint"
 	"canvassing/internal/obs"
 	"canvassing/internal/obs/event"
 )
@@ -92,6 +94,49 @@ func TestLoadRejectsNewerSchema(t *testing.T) {
 	}
 	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("newer bundle schema must be rejected, got %v", err)
+	}
+}
+
+// TestLoadRejectsCheckpointedDir is the stale-verdict regression test:
+// a directory holding a checkpoint.json sidecar belongs to an
+// interrupted study, and Load must refuse it (serving half-finished
+// artifacts silently gives wrong answers) while LoadPartial still
+// opens it for deliberate inspection (cmd/runsdiff).
+func TestLoadRejectsCheckpointedDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, Manifest{Seed: 1}, fixtureTelemetry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, CheckpointSidecar), []byte(`{"schema":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(dir)
+	if err == nil {
+		t.Fatal("Load must reject a dir holding a checkpoint sidecar")
+	}
+	if !errors.Is(err, ErrCheckpointed) {
+		t.Fatalf("error must wrap ErrCheckpointed, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("error should tell the operator to resume the run, got %v", err)
+	}
+	if _, err := LoadPartial(dir); err != nil {
+		t.Fatalf("LoadPartial must still open it: %v", err)
+	}
+	// Removing the sidecar makes the same dir loadable again.
+	if err := os.Remove(filepath.Join(dir, CheckpointSidecar)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("Load after sidecar removal: %v", err)
+	}
+}
+
+// TestCheckpointSidecarNameAgrees pins the duplicated file-name
+// constant to the one internal/checkpoint actually writes.
+func TestCheckpointSidecarNameAgrees(t *testing.T) {
+	if CheckpointSidecar != checkpoint.FileName {
+		t.Fatalf("bundle.CheckpointSidecar = %q, checkpoint.FileName = %q", CheckpointSidecar, checkpoint.FileName)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"canvassing/internal/crawler"
 	"canvassing/internal/imaging"
@@ -193,7 +194,7 @@ func AnalyzePageMemo(p *crawler.PageResult, sink event.Recorder, crawl string, m
 				Subject:  ci.Hash,
 				Verdict:  verdict,
 				Evidence: evidence,
-				Detail:   fmt.Sprintf("script=%s %dx%d %s", ci.ScriptURL, ci.W, ci.H, ci.Format),
+				Detail:   EventDetail(ci.ScriptURL, ci.W, ci.H, ci.Format),
 			})
 		}
 	}
@@ -213,6 +214,55 @@ func AnalyzeAllEvents(pages []*crawler.PageResult, sink event.Recorder, crawl st
 		out = append(out, AnalyzePageEvents(p, sink, crawl))
 	}
 	return out
+}
+
+// EventDetail formats the detect.classify Detail field. It is the
+// write half of a stable mini-format ("script=<url> <W>x<H> <format>")
+// that read paths — the verdict service's index builder — parse back
+// with ParseEventDetail, so both directions live next to each other.
+func EventDetail(scriptURL string, w, h int, format imaging.Format) string {
+	return fmt.Sprintf("script=%s %dx%d %s", scriptURL, w, h, format)
+}
+
+// ParseEventDetail inverts EventDetail. ok is false for details that
+// do not follow the format (including details from pre-format events).
+func ParseEventDetail(detail string) (scriptURL string, w, h int, format imaging.Format, ok bool) {
+	fields := strings.Fields(detail)
+	// Undecodable payloads record an empty format, leaving two fields.
+	if len(fields) < 2 || len(fields) > 3 || !strings.HasPrefix(fields[0], "script=") {
+		return "", 0, 0, "", false
+	}
+	scriptURL = strings.TrimPrefix(fields[0], "script=")
+	if n, err := fmt.Sscanf(fields[1], "%dx%d", &w, &h); err != nil || n != 2 {
+		return "", 0, 0, "", false
+	}
+	if len(fields) == 3 {
+		format = imaging.Format(fields[2])
+	}
+	return scriptURL, w, h, format, true
+}
+
+// VerdictFromEvent reconstructs the memoizable Verdict a
+// detect.classify event recorded: the verdict/evidence fields carry
+// fingerprintability and the exclusion reason, the detail carries
+// dimensions and format. ok is false for non-classify events or
+// unparseable details — callers fall back to recomputing from the
+// payload.
+func VerdictFromEvent(e event.Event) (Verdict, bool) {
+	if e.Kind != event.DetectClassify {
+		return Verdict{}, false
+	}
+	_, w, h, format, ok := ParseEventDetail(e.Detail)
+	if !ok {
+		return Verdict{}, false
+	}
+	v := Verdict{Format: format, W: w, H: h}
+	if e.Verdict == "fingerprintable" {
+		v.Fingerprintable = true
+	} else {
+		v.Exclude = Reason(e.Evidence)
+	}
+	return v, true
 }
 
 // HashDataURL returns the canonical canvas identity: SHA-256 over the

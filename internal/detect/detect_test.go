@@ -7,6 +7,7 @@ import (
 	"canvassing/internal/crawler"
 	"canvassing/internal/imaging"
 	"canvassing/internal/machine"
+	"canvassing/internal/obs/event"
 	"canvassing/internal/web"
 )
 
@@ -191,5 +192,66 @@ func TestFailedPageSkippedInStats(t *testing.T) {
 	st := ComputeStats([]SiteCanvases{AnalyzePage(p)})
 	if st.SitesCrawledOK != 0 {
 		t.Fatal("failed page must not count")
+	}
+}
+
+// TestEventDetailRoundTrip pins the detect.classify Detail mini-format:
+// what EventDetail writes, ParseEventDetail reads back exactly, and the
+// full verdict survives a trip through an event record. The verdict
+// service's index builder and memo seeding both depend on this.
+func TestEventDetailRoundTrip(t *testing.T) {
+	cases := []struct {
+		script string
+		w, h   int
+		format imaging.Format
+	}{
+		{"https://x.com/fp.js", 240, 60, imaging.PNG},
+		{"https://y.net/app.js", 12, 12, imaging.JPEG},
+		{"s", 0, 0, imaging.Format("")}, // undecodable: no format recorded
+	}
+	for _, c := range cases {
+		d := EventDetail(c.script, c.w, c.h, c.format)
+		script, w, h, format, ok := ParseEventDetail(d)
+		if !ok {
+			t.Fatalf("ParseEventDetail(%q) failed", d)
+		}
+		if script != c.script || w != c.w || h != c.h || format != c.format {
+			t.Fatalf("round trip %q: got (%q,%d,%d,%q)", d, script, w, h, format)
+		}
+	}
+	for _, bad := range []string{"", "noise", "script=x", "script=x WxH image/png", "a b c d"} {
+		if _, _, _, _, ok := ParseEventDetail(bad); ok {
+			t.Fatalf("ParseEventDetail(%q) should fail", bad)
+		}
+	}
+}
+
+// TestVerdictFromEvent rebuilds verdicts from recorded classify events
+// and checks them against the live classification they came from.
+func TestVerdictFromEvent(t *testing.T) {
+	big := makeDataURL(t, 200, 50, "")
+	jpeg := makeDataURL(t, 64, 64, "image/jpeg")
+	sink := event.NewSink(16)
+	AnalyzePageEvents(pageWith([]crawler.Extraction{
+		{ScriptURL: "https://x.com/fp.js", DataURL: big},
+		{ScriptURL: "https://x.com/ed.js", DataURL: jpeg},
+	}, map[string]map[string]bool{"https://x.com/ed.js": {"save": true}}), sink, "control")
+	events := sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("want 2 classify events, got %d", len(events))
+	}
+	for i, u := range []string{big, jpeg} {
+		anim := i == 1
+		want := Classify(u, anim)
+		got, ok := VerdictFromEvent(events[i])
+		if !ok {
+			t.Fatalf("event %d: VerdictFromEvent failed (detail %q)", i, events[i].Detail)
+		}
+		if got != want {
+			t.Fatalf("event %d: verdict %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := VerdictFromEvent(event.Event{Kind: event.ClusterAssign}); ok {
+		t.Fatal("non-classify events must not yield verdicts")
 	}
 }

@@ -1,0 +1,188 @@
+// Package serve is the detection-as-a-service layer: it loads a
+// finished study's run bundle (manifest + evidence event log) and
+// optional content-addressed snapshot store, builds sharded in-memory
+// read indexes over the recorded verdicts, cluster assignments,
+// attributions, and blocklist decisions, and answers JSON lookups at
+// production rates:
+//
+//	POST /v1/classify        canvas hash or data-URL → verdict + heuristic breakdown
+//	POST /v1/classify/batch  bulk hash lookup: one round trip, many verdicts
+//	GET  /v1/cluster/{hash}  canvas group: members, cohorts, vendor attribution
+//	GET  /v1/block?url=      would the standard lists block it, which rule/list
+//	GET  /v1/site/{domain}   per-site prevalence summary
+//	GET  /v1/stats           index summary (deterministic; serve -check uses it)
+//
+// Serving is strictly read-only over the bundle: loading builds
+// immutable indexes and never rewrites an artifact byte
+// (TestServeBundleInvariance), and every response is a pure function
+// of the bundle regardless of shard count or GOMAXPROCS
+// (TestServeShardInvariance). Concurrent identical lookups coalesce
+// through a windowed singleflight Batcher so hot keys cost one index
+// probe per window.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"canvassing/internal/analysis"
+	"canvassing/internal/blocklist"
+	"canvassing/internal/bundle"
+	"canvassing/internal/detect"
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/ops"
+	"canvassing/internal/obs/window"
+	"canvassing/internal/snapshot"
+)
+
+// Config configures service construction.
+type Config struct {
+	// Dir is the bundle directory to load (Load only).
+	Dir string
+	// SnapshotDir overrides the snapshot-store location. Empty means
+	// autodetect <Dir>/snapshots and serve without a store when absent.
+	SnapshotDir string
+	// Shards is the index shard count (DefaultShards when <= 0).
+	Shards int
+	// Window is the lookup-batching window (DefaultWindow when <= 0).
+	Window time.Duration
+	// ListsFor rebuilds the blocklists for the bundle's seed —
+	// canvassing.ListsForSeed in the binaries. Nil leaves /v1/block
+	// answering 404 (the lists live in the root package, which this
+	// package must not import).
+	ListsFor func(seed uint64) *blocklist.StandardLists
+}
+
+// Service is a loaded, queryable verdict service.
+type Service struct {
+	Bundle *bundle.Bundle
+	Index  *Index
+	// Memo is the verdict cache, pre-seeded from the bundle's
+	// detect.classify events; data-URL classifications the crawl never
+	// saw compute once and cache here.
+	Memo *analysis.Cache
+	// Lists is the reconstructed blocklist set (nil without ListsFor).
+	Lists *blocklist.StandardLists
+	// Snapshots is the content-addressed body store (nil when the
+	// bundle shipped without one).
+	Snapshots *snapshot.Store
+	// Tel is the service's own telemetry (request counters, serving
+	// spans) — deliberately separate from the bundle's recorded
+	// metrics, which stay frozen on disk.
+	Tel *obs.Telemetry
+
+	batch  *Batcher
+	seeded int
+
+	reqs    *obs.Counter
+	errs    *obs.Counter
+	latency *obs.Histogram
+}
+
+// Load reads the bundle (and snapshot store, if present) from disk and
+// builds the service. It uses bundle.Load, so a directory holding a
+// checkpoint.json sidecar — a half-finished study — is refused rather
+// than served as stale verdicts.
+func Load(cfg Config) (*Service, error) {
+	b, err := bundle.Load(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := New(b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	snapDir := cfg.SnapshotDir
+	optional := snapDir == ""
+	if optional {
+		snapDir = cfg.Dir + "/snapshots"
+	}
+	store, err := snapshot.Load(snapDir)
+	switch {
+	case err == nil:
+		svc.Snapshots = store
+	case !optional:
+		return nil, fmt.Errorf("serve: snapshot store: %w", err)
+	}
+	return svc, nil
+}
+
+// New builds a service over an already-loaded bundle — the in-memory
+// entry point tests and fuzz fixtures use. Index construction and memo
+// seeding are deterministic: one ordered pass over the event log.
+func New(b *bundle.Bundle, cfg Config) (*Service, error) {
+	if b == nil {
+		return nil, fmt.Errorf("serve: nil bundle")
+	}
+	tel := obs.NewTelemetry()
+	svc := &Service{
+		Bundle:  b,
+		Index:   BuildIndex(b, cfg.Shards),
+		Memo:    analysis.NewCache(tel.Metrics),
+		Tel:     tel,
+		batch:   NewBatcher(cfg.Window),
+		reqs:    tel.Metrics.Counter("serve.requests"),
+		errs:    tel.Metrics.Counter("serve.errors"),
+		latency: tel.Metrics.Histogram("serve.latency.seconds", obs.LatencyBuckets()),
+	}
+	if cfg.ListsFor != nil {
+		svc.Lists = cfg.ListsFor(b.Manifest.Seed)
+	}
+	svc.seeded = seedMemo(svc.Memo, b)
+	tel.Status.MarkDone()
+	return svc, nil
+}
+
+// seedMemo replays the bundle's detect.classify events into the verdict
+// cache so /v1/classify answers for known payloads without recomputing.
+// The event log does not record the extracting script's animation flag
+// directly, but the verdict pins it down:
+//
+//   - "fingerprintable" implies heuristic 3 did not fire → anim=false;
+//   - exclusion "animation-script" implies it did → anim=true;
+//   - every other exclusion (lossy-format, small-canvas, undecodable)
+//     fires before the animation check, so the verdict holds for both
+//     flag values and both keys are seeded.
+//
+// Returns the number of events that seeded at least one key.
+func seedMemo(memo *analysis.Cache, b *bundle.Bundle) int {
+	n := 0
+	for i := range b.Events {
+		v, ok := detect.VerdictFromEvent(b.Events[i])
+		if !ok {
+			continue
+		}
+		hash := b.Events[i].Subject
+		switch {
+		case v.Fingerprintable:
+			memo.Seed(detect.MemoKey{Hash: hash, Anim: false}, v)
+		case v.Exclude == detect.AnimationScript:
+			memo.Seed(detect.MemoKey{Hash: hash, Anim: true}, v)
+		default:
+			memo.Seed(detect.MemoKey{Hash: hash, Anim: false}, v)
+			memo.Seed(detect.MemoKey{Hash: hash, Anim: true}, v)
+		}
+		n++
+	}
+	return n
+}
+
+// SeededVerdicts returns how many classify events seeded the memo.
+func (s *Service) SeededVerdicts() int { return s.seeded }
+
+// Batcher exposes the lookup batcher (tests observe its counters).
+func (s *Service) Batcher() *Batcher { return s.batch }
+
+// Start serves the API plus the full ops plane (/metrics.prom, /red,
+// /statusz, /tracez, and the obs debug endpoints) on addr (":0" picks
+// a port). win is the RED sliding window (0 = 1 minute).
+func (s *Service) Start(addr string, withPprof bool, win time.Duration) (*ops.Plane, error) {
+	view := window.New(s.Tel.Metrics, win)
+	mux := obs.NewMux(s.Tel, withPprof, append(ops.Routes(s.Tel, view, nil), s.Routes()...)...)
+	srv, err := obs.StartServer(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	view.Start(0)
+	return &ops.Plane{Server: srv, View: view}, nil
+}

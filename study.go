@@ -179,7 +179,7 @@ func New(opts Options) *Study {
 	s := &Study{
 		Options: opts,
 		Web:     w,
-		Lists:   blocklist.NewStandardListsWithTrackers(opts.Seed, longtailTrackerCoverage()),
+		Lists:   ListsForSeed(opts.Seed),
 		tel:     tel,
 	}
 	if opts.FaultRate > 0 {
@@ -441,6 +441,14 @@ func (s *Study) runM1Crawl(rs *crawler.ResumeState) {
 func (s *Study) analyzeM1() {
 	s.M1Sites = s.analyzeAll(s.M1.Pages, CondM1)
 	s.finishPhase(PhaseAnalyzeM1)
+}
+
+// ListsForSeed reconstructs the exact blocklists a study with the
+// given seed used — standard lists plus the longtail tracker coverage.
+// The verdict service uses it to answer /v1/block queries for a loaded
+// bundle with the same rules the original run matched against.
+func ListsForSeed(seed uint64) *blocklist.StandardLists {
+	return blocklist.NewStandardListsWithTrackers(seed, longtailTrackerCoverage())
 }
 
 // longtailTrackerCoverage decides which boutique fingerprinting hosts the
