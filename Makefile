@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke serve-smoke
+.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke serve-smoke distrib-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # HTTP handlers) are the places goroutines share state; hammer them
 # under the race detector.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot ./internal/serve
+	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot ./internal/serve ./internal/distrib
 
 vet:
 	$(GO) vet ./...
@@ -33,8 +33,9 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParseRule -fuzztime 10s ./internal/blocklist
 	$(GO) test -run XXX -fuzz FuzzClassifyRequest -fuzztime 10s ./internal/serve
 	$(GO) test -run XXX -fuzz FuzzBlockQuery -fuzztime 10s ./internal/serve
+	$(GO) test -run XXX -fuzz FuzzMergePartialBundles -fuzztime 10s ./internal/distrib
 
-check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke serve-smoke
+check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke serve-smoke distrib-smoke
 
 # resume-smoke is the shell-level half of the resume oracle (the Go
 # half is TestResumeOracle): run a checkpointed study to completion,
@@ -94,6 +95,29 @@ serve-smoke:
 	diff testdata/serve_smoke.expected $(VSMOKE)/out.txt
 	rm -rf $(VSMOKE)
 	@echo "serve-smoke: every verdict endpoint answers byte-identically to the committed expectation"
+
+# distrib-smoke is the shell-level half of the partition-invariance
+# oracle (the Go half is TestDistribPartitionOracle): run the study
+# single-process via repro, run it again as a 4-partition distributed
+# study over spawned `crawl -distrib-unit` worker processes, and
+# require the two bundles' deterministic artifacts to be byte-identical
+# via cmp. The ledger must show a clean run (no failed units).
+DSMOKE := .distrib-smoke
+distrib-smoke:
+	rm -rf $(DSMOKE)
+	mkdir -p $(DSMOKE)
+	$(GO) build -o $(DSMOKE)/repro ./cmd/repro
+	$(GO) build -o $(DSMOKE)/coordinator ./cmd/coordinator
+	$(GO) build -o $(DSMOKE)/crawl ./cmd/crawl
+	$(DSMOKE)/repro -seed 11 -scale 0.02 -exp compare -outdir $(DSMOKE)/ref >/dev/null
+	$(DSMOKE)/coordinator -seed 11 -scale 0.02 -adblock -m1 -partitions 4 -slots 3 -dir $(DSMOKE)/run -worker $(DSMOKE)/crawl -compare -out $(DSMOKE)/dist >$(DSMOKE)/ledger.txt 2>/dev/null
+	grep -q "16 units, 16 done, 0 failed" $(DSMOKE)/ledger.txt
+	cmp $(DSMOKE)/ref/manifest.json $(DSMOKE)/dist/manifest.json
+	cmp $(DSMOKE)/ref/events.jsonl $(DSMOKE)/dist/events.jsonl
+	cmp $(DSMOKE)/ref/report.txt $(DSMOKE)/dist/report.txt
+	cmp $(DSMOKE)/ref/metrics.deterministic.json $(DSMOKE)/dist/metrics.deterministic.json
+	rm -rf $(DSMOKE)
+	@echo "distrib-smoke: 4-partition distributed study over worker processes is byte-identical to the single-process run"
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

@@ -8,6 +8,14 @@
 // crawl, -pprof serves the same plus net/http/pprof, and -outdir
 // writes a run bundle for later comparison with cmd/runsdiff.
 //
+// Distributed runs: -distrib-unit <dir> turns the binary into a worker
+// process for cmd/coordinator — it reads the work-unit spec the
+// coordinator wrote into dir, rebuilds the study world from it, runs
+// its crawl slice as a checkpointed crawl, and writes the partial
+// bundle. Exit codes follow the distrib.Spawner contract: 0 on unit
+// completion, 3 on a mid-unit stop (-interrupt-after), anything else
+// on failure.
+//
 // Fault injection: -faults gives every site a seeded chance of a fault
 // plan (outage, flaky connection, latency spike, truncated response)
 // that the crawler's resilience engine retries through; -retries and
@@ -30,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"canvassing"
 	"canvassing/internal/adblock"
 	"canvassing/internal/analysis"
 	"canvassing/internal/blocklist"
@@ -37,6 +46,7 @@ import (
 	"canvassing/internal/checkpoint"
 	"canvassing/internal/crawler"
 	"canvassing/internal/detect"
+	"canvassing/internal/distrib"
 	"canvassing/internal/machine"
 	"canvassing/internal/netsim"
 	"canvassing/internal/obs"
@@ -73,9 +83,25 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "committed pages between checkpoints")
 	interruptAfter := flag.Int("interrupt-after", 0, "stop the crawl after N checkpoint writes and exit 3 (resume-smoke testing)")
 	resumeDir := flag.String("resume", "", "resume a checkpointed crawl from this directory")
+	distribUnit := flag.Bool("distrib-unit", false, "run as a distributed-study worker: crawl the work-unit in the directory argument")
 	cli := obs.BindCLI(flag.CommandLine)
 	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
+
+	if *distribUnit {
+		dir := flag.Arg(0)
+		if dir == "" {
+			log.Fatal("distrib-unit: need a unit directory argument")
+		}
+		interrupted, err := canvassing.RunWorkUnit(dir, *interruptAfter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if interrupted {
+			os.Exit(distrib.ExitInterrupted)
+		}
+		return
+	}
 
 	tel := obs.NewTelemetry()
 	var visits *tracez.Reservoir

@@ -226,6 +226,13 @@ type Config struct {
 	// the prefix are NOT re-applied — the caller restores those from
 	// the same checkpoint.
 	Resume *ResumeState
+	// PageIndexOffset shifts the page-index identity handed to exemplar
+	// span trees (tracez.NewVisit). A distributed work-unit crawling
+	// sites [Start, End) of a larger frontier passes Start here, so its
+	// visit traces carry the same global page ordinal — and therefore
+	// the same deterministic sampling hash and tie-break rank — as the
+	// single-process crawl. Zero for ordinary crawls.
+	PageIndexOffset int
 }
 
 // SnapshotStore is the content-addressed body cache a crawl reads
@@ -645,7 +652,7 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 				if mx != nil {
 					t0 = time.Now()
 				}
-				pr, d := visit(w, sites[j.i], j.i, cfg, cache, mx, evs)
+				pr, d := visit(w, sites[j.i], j.i+cfg.PageIndexOffset, cfg, cache, mx, evs)
 				if mx != nil {
 					el := time.Since(t0)
 					busy += el

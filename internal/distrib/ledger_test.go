@@ -1,0 +1,148 @@
+package distrib
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testUnits(n int) []UnitSpec {
+	return Partition([]string{"control"}, n*10, n, testStudy())
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewLedger(dir, testUnits(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Assign("control-00", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	// Running units cannot be re-assigned or completed twice.
+	if _, err := l.Assign("control-00", "w1"); err == nil {
+		t.Fatal("double assignment accepted")
+	}
+	if err := l.Done("control-01", time.Second, false); err == nil {
+		t.Fatal("Done on a pending unit accepted")
+	}
+	if err := l.Release("control-00", "worker died mid-unit", 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if att, err := l.Assign("control-00", "w2"); err != nil || att != 2 {
+		t.Fatalf("reassignment: attempt=%d err=%v, want attempt 2", att, err)
+	}
+	if err := l.Done("control-00", 500*time.Millisecond, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Assign("control-01", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Abort("control-02", "attempt budget exhausted"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk ledger must agree with the in-memory view at every
+	// point an outside observer could read it.
+	got, err := LoadLedgerRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l.Records()
+	if len(got) != len(want) {
+		t.Fatalf("disk ledger holds %d records, memory %d", len(got), len(want))
+	}
+	r := got[0]
+	if r.Status != UnitDone || r.Attempts != 2 || !r.Resumed || r.WallMS != 750 || len(r.Failures) != 1 {
+		t.Fatalf("control-00 record wrong: %+v", r)
+	}
+	if got[1].Status != UnitRunning || got[1].Worker != "w0" {
+		t.Fatalf("control-01 record wrong: %+v", got[1])
+	}
+	if got[2].Status != UnitFailed {
+		t.Fatalf("control-02 record wrong: %+v", got[2])
+	}
+
+	if _, err := l.Assign("nope", "w0"); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+	if _, err := NewLedger(t.TempDir(), append(testUnits(1), testUnits(1)...)); err == nil {
+		t.Fatal("duplicate unit IDs accepted")
+	}
+}
+
+// Records must return copies: mutating a returned row cannot corrupt
+// the ledger.
+func TestLedgerRecordsAreCopies(t *testing.T) {
+	l, err := NewLedger("", testUnits(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := l.Records()
+	recs[0].Status = UnitFailed
+	recs[0].Failures = append(recs[0].Failures, "synthetic")
+	if fresh := l.Records()[0]; fresh.Status != UnitPending || len(fresh.Failures) != 0 {
+		t.Fatalf("mutating a Records() row leaked into the ledger: %+v", fresh)
+	}
+}
+
+// Churn the ledger from many goroutines playing worker slots — the
+// -race half of the chaos satellite. Every unit goes through
+// assign → release → assign → done concurrently, and the final state
+// must be fully done with exactly two attempts each.
+func TestLedgerConcurrentChurn(t *testing.T) {
+	const units = 24
+	dir := t.TempDir()
+	l, err := NewLedger(dir, testUnits(units))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < units; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("control-%02d", i)
+			w := fmt.Sprintf("w%d", i%4)
+			if _, err := l.Assign(id, w); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.Release(id, "killed", time.Millisecond); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := l.Assign(id, w); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.Done(id, time.Millisecond, true); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		// Concurrent readers race the writers over the copy-out path and
+		// the atomic file rewrite.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = l.Records()
+			_, _ = LoadLedgerRecords(dir)
+		}()
+	}
+	wg.Wait()
+	for _, r := range l.Records() {
+		if r.Status != UnitDone || r.Attempts != 2 || !r.Resumed {
+			t.Fatalf("after churn, unit %s is %+v", r.ID, r)
+		}
+	}
+	disk, err := LoadLedgerRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range disk {
+		if r.Status != UnitDone {
+			t.Fatalf("disk ledger disagrees after churn: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+
+	"canvassing/internal/crawler"
+	"canvassing/internal/obs"
+	"canvassing/internal/obs/event"
+	"canvassing/internal/obs/tracez"
+	"canvassing/internal/snapshot"
+)
+
+// Parse-cache counter names the merge corrects (shared with
+// internal/crawler's metric registration).
+const (
+	parseCacheHits   = "crawl.parsecache.hits"
+	parseCacheMisses = "crawl.parsecache.misses"
+)
+
+// MergedCrawl is one condition's recombined crawl: exactly what the
+// single-process crawl of the full frontier would have produced.
+type MergedCrawl struct {
+	Condition string
+	Machine   string
+	Extension string
+	// Pages is the full frontier's page results in page order.
+	Pages []*crawler.PageResult
+	// Events are every unit's evidence events concatenated in page-range
+	// order; re-recording them into a sink re-stamps Seq, reproducing
+	// the serial event stream.
+	Events []event.Event
+	// Metrics is the summed metrics snapshot with the parse-cache
+	// first-seen correction applied. Gauges are absent — they are
+	// instantaneous values the adopting process owns.
+	Metrics obs.Snapshot
+	// Exemplars holds every unit's reservoir view in page-range order,
+	// ready for Reservoir.Absorb.
+	Exemplars []tracez.CondExemplars
+	// Snapshots holds each unit's store delta in page-range order, ready
+	// for Store.Merge.
+	Snapshots []*snapshot.Store
+}
+
+// MergeCrawl recombines one condition's unit partials. It refuses —
+// with an error, never a panic or a silent partial merge — any input
+// set that does not tile the condition's frontier exactly: overlaps,
+// gaps, duplicates, mixed conditions, or mismatched study specs. When
+// it returns nil error, every page of the frontier is covered exactly
+// once.
+//
+// The merge rules, each preserving the single-process bytes:
+//
+//   - pages concatenate in range order (each unit's Pages[i] is global
+//     page Start+i);
+//   - events concatenate in range order (unit-local order is already
+//     page order, thanks to the crawler's ordered committer);
+//   - counters sum, then the parse-cache pair is corrected: a body
+//     hash first seen by unit k is a miss there, but in the unified
+//     stream it is a miss only at its globally first-seen page and a
+//     hit everywhere later. merged_misses = Σ forced_k + |∪ ParseSeen|
+//     (first-seen union in range order) and the hit total absorbs the
+//     difference, so hits+misses is conserved;
+//   - histograms add bucket-wise (layout mismatches are errors);
+//   - exemplar views and snapshot deltas are collected in range order
+//     for the caller to Absorb/Merge, which re-selects and re-accounts
+//     exactly as the unified stream would.
+func MergeCrawl(parts []*Partial) (*MergedCrawl, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("distrib: merge of zero partials")
+	}
+	ordered := make([]*Partial, len(parts))
+	copy(ordered, parts)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Spec.Start < ordered[j].Spec.Start })
+
+	first := ordered[0].Spec
+	m := &MergedCrawl{Condition: first.Condition}
+	next := 0
+	for _, p := range ordered {
+		s := p.Spec
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		switch {
+		case s.Condition != first.Condition:
+			return nil, fmt.Errorf("distrib: merge mixes conditions %q and %q", first.Condition, s.Condition)
+		case s.Total != first.Total:
+			return nil, fmt.Errorf("distrib: unit %s frontier total %d != %d", s.ID, s.Total, first.Total)
+		case s.Study != first.Study:
+			return nil, fmt.Errorf("distrib: unit %s study spec differs from unit %s", s.ID, first.ID)
+		case s.Start < next:
+			return nil, fmt.Errorf("distrib: unit %s range [%d,%d) overlaps or duplicates pages before %d", s.ID, s.Start, s.End, next)
+		case s.Start > next:
+			return nil, fmt.Errorf("distrib: pages [%d,%d) are covered by no unit", next, s.Start)
+		case len(p.Pages) != s.Pages():
+			return nil, fmt.Errorf("distrib: unit %s carries %d pages for range [%d,%d)", s.ID, len(p.Pages), s.Start, s.End)
+		}
+		next = s.End
+	}
+	if next != first.Total {
+		return nil, fmt.Errorf("distrib: pages [%d,%d) are covered by no unit", next, first.Total)
+	}
+	for _, p := range ordered {
+		if p.Machine != ordered[0].Machine || p.Extension != ordered[0].Extension {
+			return nil, fmt.Errorf("distrib: unit %s crawled on %s/%s, unit %s on %s/%s",
+				p.Spec.ID, p.Machine, p.Extension, ordered[0].Spec.ID, ordered[0].Machine, ordered[0].Extension)
+		}
+	}
+	m.Machine, m.Extension = ordered[0].Machine, ordered[0].Extension
+
+	// Counters and histograms: sum through a scratch registry (which
+	// validates histogram bucket layouts), then correct the parse-cache
+	// pair from the per-unit first-seen cursors.
+	scratch := obs.NewRegistry()
+	var sumHits, sumMisses int64
+	seen := map[uint64]bool{}
+	union := 0
+	var forced int64
+	for _, p := range ordered {
+		if err := scratch.Merge(p.Metrics); err != nil {
+			return nil, fmt.Errorf("distrib: unit %s: %w", p.Spec.ID, err)
+		}
+		hits := p.Metrics.Counters[parseCacheHits]
+		misses := p.Metrics.Counters[parseCacheMisses]
+		if misses < int64(len(p.ParseSeen)) {
+			return nil, fmt.Errorf("distrib: unit %s counts %d parse misses but its cursor holds %d first-seen hashes",
+				p.Spec.ID, misses, len(p.ParseSeen))
+		}
+		sumHits += hits
+		sumMisses += misses
+		forced += misses - int64(len(p.ParseSeen))
+		for _, k := range p.ParseSeen {
+			if !seen[k] {
+				seen[k] = true
+				union++
+			}
+		}
+		m.Pages = append(m.Pages, p.Pages...)
+		m.Events = append(m.Events, p.Events...)
+		m.Exemplars = append(m.Exemplars, p.Exemplars...)
+		if p.Snapshots != nil {
+			m.Snapshots = append(m.Snapshots, p.Snapshots)
+		}
+	}
+	m.Metrics = scratch.Snapshot()
+	if sumHits+sumMisses > 0 {
+		mergedMisses := forced + int64(union)
+		m.Metrics.Counters[parseCacheMisses] = mergedMisses
+		m.Metrics.Counters[parseCacheHits] = sumHits + sumMisses - mergedMisses
+	}
+	return m, nil
+}

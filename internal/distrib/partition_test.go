@@ -1,0 +1,119 @@
+package distrib
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testStudy() StudySpec {
+	return StudySpec{Seed: 11, Scale: 0.02, Workers: 2, FaultRate: 0.25, CheckpointEvery: 64}
+}
+
+// A partition must tile every condition's frontier exactly with
+// contiguous near-equal ranges, whatever the divisibility.
+func TestPartitionTilesFrontier(t *testing.T) {
+	conds := []string{"control", "abp"}
+	for _, tc := range []struct{ total, parts int }{
+		{800, 1}, {800, 4}, {800, 16}, {801, 4}, {7, 3}, {5, 8}, {1, 1}, {800, 0},
+	} {
+		units := Partition(conds, tc.total, tc.parts, testStudy())
+		want := tc.parts
+		if want < 1 {
+			want = 1
+		}
+		if want > tc.total {
+			want = tc.total
+		}
+		if len(units) != want*len(conds) {
+			t.Fatalf("total=%d parts=%d: got %d units, want %d per condition", tc.total, tc.parts, len(units), want)
+		}
+		perCond := map[string][]UnitSpec{}
+		for _, u := range units {
+			if err := u.validate(); err != nil {
+				t.Fatalf("total=%d parts=%d: invalid unit: %v", tc.total, tc.parts, err)
+			}
+			if u.Study != testStudy() {
+				t.Fatalf("unit %s lost the study spec", u.ID)
+			}
+			perCond[u.Condition] = append(perCond[u.Condition], u)
+		}
+		for cond, us := range perCond {
+			next, min, max := 0, tc.total+1, -1
+			for _, u := range us {
+				if u.Start != next {
+					t.Fatalf("total=%d parts=%d cond=%s: unit %s starts at %d, want %d", tc.total, tc.parts, cond, u.ID, u.Start, next)
+				}
+				next = u.End
+				n := u.Pages()
+				if n < min {
+					min = n
+				}
+				if n > max {
+					max = n
+				}
+			}
+			if next != tc.total {
+				t.Fatalf("total=%d parts=%d cond=%s: tiling ends at %d", tc.total, tc.parts, cond, next)
+			}
+			if max-min > 1 {
+				t.Fatalf("total=%d parts=%d cond=%s: unit sizes spread %d..%d, want near-equal", tc.total, tc.parts, cond, min, max)
+			}
+		}
+	}
+}
+
+// The split is a pure function of (total, parts): two calls agree, so
+// coordinator and workers can never disagree about ranges.
+func TestPartitionIsPure(t *testing.T) {
+	a := Partition([]string{"control"}, 801, 16, testStudy())
+	b := Partition([]string{"control"}, 801, 16, testStudy())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical Partition calls disagree")
+	}
+}
+
+func TestUnitSpecRoundtrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "unit")
+	spec := Partition([]string{"ubo"}, 101, 4, testStudy())[2]
+	if err := WriteUnitSpec(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUnitSpec(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Fatalf("roundtrip changed the spec:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestUnitSpecValidation(t *testing.T) {
+	base := UnitSpec{Schema: SchemaVersion, ID: "control-00", Condition: "control", Start: 0, End: 10, Total: 20}
+	for name, mut := range map[string]func(*UnitSpec){
+		"missing id":        func(u *UnitSpec) { u.ID = "" },
+		"missing condition": func(u *UnitSpec) { u.Condition = "" },
+		"negative start":    func(u *UnitSpec) { u.Start = -1 },
+		"inverted range":    func(u *UnitSpec) { u.End = u.Start - 1 },
+		"range past total":  func(u *UnitSpec) { u.End = u.Total + 1 },
+	} {
+		u := base
+		mut(&u)
+		if err := u.validate(); err == nil {
+			t.Errorf("%s: validate accepted %+v", name, u)
+		}
+	}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// A spec from a future schema must be refused on read.
+	dir := filepath.Join(t.TempDir(), "unit")
+	future := base
+	future.Schema = SchemaVersion + 1
+	if err := WriteUnitSpec(dir, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadUnitSpec(dir); err == nil {
+		t.Fatal("future-schema unit spec accepted")
+	}
+}

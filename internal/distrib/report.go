@@ -1,0 +1,88 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderLedger formats the coordinator's end-of-run summary: the unit
+// ledger in partition order followed by per-worker wall/retry stats.
+// Output is a pure function of the records, so the golden-file test
+// pins it exactly (tests construct records with fixed wall times).
+func RenderLedger(records []UnitRecord) string {
+	var b strings.Builder
+	done, failed, retries, resumed := 0, 0, 0, 0
+	for _, r := range records {
+		switch r.Status {
+		case UnitDone:
+			done++
+		case UnitFailed:
+			failed++
+		}
+		if r.Attempts > 1 {
+			retries += r.Attempts - 1
+		}
+		if r.Resumed {
+			resumed++
+		}
+	}
+	fmt.Fprintf(&b, "distributed run: %d units, %d done, %d failed, %d retries, %d resumed\n",
+		len(records), done, failed, retries, resumed)
+	b.WriteString("\nunit ledger:\n")
+	fmt.Fprintf(&b, "  %-12s %-9s %-14s %-8s %-8s %8s %10s\n",
+		"unit", "cond", "range", "status", "worker", "attempts", "wall")
+	for _, r := range records {
+		worker := r.Worker
+		if worker == "" {
+			worker = "-"
+		}
+		fmt.Fprintf(&b, "  %-12s %-9s %-14s %-8s %-8s %8d %10s\n",
+			r.ID, r.Condition, fmt.Sprintf("[%d,%d)", r.Start, r.End),
+			r.Status, worker, r.Attempts, renderWall(r.WallMS))
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "    ! %s\n", f)
+		}
+	}
+
+	type workerStat struct {
+		units   int
+		retries int
+		wallMS  int64
+	}
+	stats := map[string]*workerStat{}
+	var names []string
+	for _, r := range records {
+		if r.Worker == "" {
+			continue
+		}
+		ws := stats[r.Worker]
+		if ws == nil {
+			ws = &workerStat{}
+			stats[r.Worker] = ws
+			names = append(names, r.Worker)
+		}
+		ws.units++
+		if r.Attempts > 1 {
+			ws.retries += r.Attempts - 1
+		}
+		ws.wallMS += r.WallMS
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		b.WriteString("\nper-worker:\n")
+		for _, name := range names {
+			ws := stats[name]
+			fmt.Fprintf(&b, "  %-8s units=%-3d retries=%-3d wall=%s\n",
+				name, ws.units, ws.retries, renderWall(ws.wallMS))
+		}
+	}
+	return b.String()
+}
+
+// renderWall formats cumulative milliseconds with a stable unit.
+func renderWall(ms int64) string {
+	d := time.Duration(ms) * time.Millisecond
+	return d.String()
+}

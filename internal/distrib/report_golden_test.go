@@ -1,0 +1,50 @@
+package distrib
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden files")
+
+// TestRenderLedgerGolden pins the coordinator's end-of-run summary
+// exactly: header tallies, the unit-ledger table (including failure
+// notes under a retried unit and an aborted one), and the per-worker
+// section. RenderLedger is a pure function of the records, so the
+// fixture uses fixed wall times and the comparison is byte-for-byte.
+// Run with -update after an intentional format change.
+func TestRenderLedgerGolden(t *testing.T) {
+	records := []UnitRecord{
+		{ID: "control-00", Condition: "control", Start: 0, End: 200, Status: UnitDone,
+			Worker: "w0", Attempts: 1, WallMS: 1500},
+		{ID: "control-01", Condition: "control", Start: 200, End: 400, Status: UnitDone,
+			Worker: "w2", Attempts: 2, Resumed: true, WallMS: 2250,
+			Failures: []string{"worker died mid-unit"}},
+		{ID: "abp-00", Condition: "abp", Start: 0, End: 200, Status: UnitDone,
+			Worker: "w1", Attempts: 1, WallMS: 1750},
+		{ID: "abp-01", Condition: "abp", Start: 200, End: 400, Status: UnitFailed,
+			Worker: "w0", Attempts: 3, WallMS: 900,
+			Failures: []string{"worker died mid-unit", "worker died mid-unit", "attempt budget (3) exhausted"}},
+		{ID: "ubo-00", Condition: "ubo", Start: 0, End: 400, Status: UnitPending},
+	}
+	got := RenderLedger(records)
+
+	goldenPath := filepath.Join("testdata", "ledger_report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/distrib -run RenderLedgerGolden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("ledger report drifted from golden; run with -update if intentional\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -500,6 +500,59 @@ func (r *Registry) Restore(s Snapshot) {
 	}
 }
 
+// Merge folds another registry's snapshot into this one additively —
+// the recombination half of a distributed run, where each work-unit
+// crawled with its own registry and the coordinator sums them back
+// together. Counters are added (and created when absent, so a zero
+// counter still appears in later snapshots), histograms are merged
+// bucket-wise with count/sum accumulated and min/max folded, and
+// gauges are deliberately skipped: they are instantaneous values the
+// merging process owns (e.g. crawl.workers is the coordinator's
+// configured width, not a sum over shards). Histograms must agree on
+// bucket layout; a mismatch is an error and nothing of that histogram
+// is applied.
+func (r *Registry) Merge(s Snapshot) error {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		if err := r.MergeHistogram(name, hs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeHistogram adds one histogram snapshot's observations into the
+// named histogram, creating it with the snapshot's bounds when absent.
+func (r *Registry) MergeHistogram(name string, hs HistogramSnapshot) error {
+	bounds := make([]float64, 0, len(hs.Buckets))
+	for _, b := range hs.Buckets {
+		if !math.IsInf(b.UpperBound, 1) {
+			bounds = append(bounds, b.UpperBound)
+		}
+	}
+	h := r.Histogram(name, bounds)
+	if len(h.buckets) != len(hs.Buckets) {
+		return fmt.Errorf("obs: merge %s: bucket count %d != %d", name, len(h.buckets), len(hs.Buckets))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			return fmt.Errorf("obs: merge %s: bucket bound %g != %g", name, h.bounds[i], b)
+		}
+	}
+	for i, b := range hs.Buckets {
+		h.buckets[i].Add(b.Count)
+	}
+	h.count.Add(hs.Count)
+	h.sum.add(hs.Sum)
+	if hs.Count > 0 {
+		h.min.casMin(hs.Min)
+		h.max.casMax(hs.Max)
+	}
+	return nil
+}
+
 // RenderText snapshots the registry and renders it.
 func (r *Registry) RenderText() string { return r.Snapshot().RenderText() }
 

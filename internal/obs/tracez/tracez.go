@@ -230,17 +230,32 @@ func (r *Reservoir) Offer(vt *VisitTrace) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.conds[vt.Condition]
-	if c == nil {
-		c = &condRes{kind: vt.Kind}
-		r.conds[vt.Condition] = c
-		r.order = append(r.order, vt.Condition)
-	}
+	c := r.condFor(vt.Condition, vt.Kind)
 	c.offered++
 	c.costSum += vt.Cost
 	if vt.Cost > c.maxCost {
 		c.maxCost = vt.Cost
 	}
+	r.keep(c, vt)
+}
+
+// condFor returns (creating on first sight, which fixes the condition's
+// position in first-offer order) the per-condition state. Callers hold
+// r.mu.
+func (r *Reservoir) condFor(cond, kind string) *condRes {
+	c := r.conds[cond]
+	if c == nil {
+		c = &condRes{kind: kind}
+		r.conds[cond] = c
+		r.order = append(r.order, cond)
+	}
+	return c
+}
+
+// keep is the retention half of Offer: the seeded head sample and the
+// slowest-N selection, with stream totals left alone. Callers hold
+// r.mu.
+func (r *Reservoir) keep(c *condRes, vt *VisitTrace) {
 	// Head sample: a seeded hash of the exemplar's identity picks
 	// ~1/headSampleMod of the stream until the bucket fills. The hash
 	// depends only on (seed, condition, domain, index), so the same
@@ -261,6 +276,51 @@ func (r *Reservoir) Offer(vt *VisitTrace) {
 	}
 	if outranks(vt, c.slow[min]) {
 		c.slow[min] = vt
+	}
+}
+
+// Absorb merges partial-reservoir views — per-condition snapshots
+// captured over disjoint slices of a crawl's page stream, as emitted by
+// distributed work-units — into the reservoir. Stream totals (offered,
+// cost sum, max cost) are summed, and every part's retained exemplars
+// are re-offered to the selection in ascending page-index order.
+//
+// This reproduces the single-process reservoir exactly: a slice's
+// slowest-N retains a superset of the slice's contribution to the full
+// stream's slowest-N, and a slice's head sample retains every sampled
+// tree that could sit among the full stream's first headN samples, so
+// re-selecting over the union in index order converges to the same
+// exemplar set, in the same order, as offering the full stream.
+func (r *Reservoir) Absorb(parts []CondExemplars) {
+	if r == nil || len(parts) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var conds []string
+	byCond := map[string][]*VisitTrace{}
+	for _, p := range parts {
+		c := r.condFor(p.Condition, p.Kind)
+		c.offered += p.Offered
+		c.costSum += p.CostSum
+		if p.MaxCost > c.maxCost {
+			c.maxCost = p.MaxCost
+		}
+		if _, ok := byCond[p.Condition]; !ok {
+			conds = append(conds, p.Condition)
+		}
+		// Slow and Head are disjoint in a snapshot (Head is deduped
+		// against Slow), so the union below never double-offers a tree.
+		byCond[p.Condition] = append(byCond[p.Condition], p.Slow...)
+		byCond[p.Condition] = append(byCond[p.Condition], p.Head...)
+	}
+	for _, cond := range conds {
+		all := byCond[cond]
+		sort.Slice(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+		c := r.conds[cond]
+		for _, vt := range all {
+			r.keep(c, vt)
+		}
 	}
 }
 

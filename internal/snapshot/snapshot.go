@@ -101,6 +101,55 @@ func (s *Store) Account(urls []string) {
 	s.mu.Unlock()
 }
 
+// Merge folds another store into this one — the recombination half of
+// a distributed crawl, where each work-unit fetched through its own
+// store and the coordinator rebuilds the shared one. Blobs dedupe by
+// content hash. Accounting replays other's cursor against this store's
+// seen-set: other's internal repeats are already collapsed into its
+// hit count (adopted wholesale), and each of other's first-seen URLs
+// counts here as a hit when some earlier-merged unit already fetched
+// it, or as a fresh miss otherwise. Merging units in page order
+// therefore reproduces the exact hit/miss totals and first-seen order
+// of the single-process crawl's unified Account stream.
+func (s *Store) Merge(other *Store) {
+	if other == nil {
+		return
+	}
+	other.mu.RLock()
+	byURL := make(map[string]uint64, len(other.byURL))
+	for u, h := range other.byURL {
+		byURL[u] = h
+	}
+	blobs := make(map[uint64]string, len(other.blobs))
+	for h, b := range other.blobs {
+		blobs[h] = b
+	}
+	order := append([]string(nil), other.seenOrder...)
+	hits := other.hits
+	other.mu.RUnlock()
+
+	s.mu.Lock()
+	for u, h := range byURL {
+		s.byURL[u] = h
+	}
+	for h, b := range blobs {
+		if _, ok := s.blobs[h]; !ok {
+			s.blobs[h] = b
+		}
+	}
+	s.hits += hits
+	for _, u := range order {
+		if s.seen[u] {
+			s.hits++
+		} else {
+			s.seen[u] = true
+			s.seenOrder = append(s.seenOrder, u)
+			s.misses++
+		}
+	}
+	s.mu.Unlock()
+}
+
 // Counts returns the accounted hit/miss totals.
 func (s *Store) Counts() (hits, misses int64) {
 	s.mu.RLock()
