@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke serve-smoke distrib-smoke
+.PHONY: build test race vet fuzz-smoke check bench bench-smoke bench-check resume-smoke trace-smoke serve-smoke distrib-smoke interact-smoke
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,11 @@ test:
 # snapshot store, the exemplar reservoir (offered from workers, read by
 # /tracez), and the ops plane (status tracker, window sampler, live
 # HTTP handlers) are the places goroutines share state; hammer them
-# under the race detector.
+# under the race detector. internal/dom rides along because every
+# crawl worker drives its own event loop — the race detector proves
+# the loops really are confined to their workers.
 race:
-	$(GO) test -race ./internal/crawler ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot ./internal/serve ./internal/distrib
+	$(GO) test -race ./internal/crawler ./internal/dom ./internal/obs ./internal/obs/event ./internal/obs/window ./internal/obs/ops ./internal/obs/tracez ./internal/netsim ./internal/bundle ./internal/analysis ./internal/detect ./internal/checkpoint ./internal/snapshot ./internal/serve ./internal/distrib
 
 vet:
 	$(GO) vet ./...
@@ -34,8 +36,9 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzClassifyRequest -fuzztime 10s ./internal/serve
 	$(GO) test -run XXX -fuzz FuzzBlockQuery -fuzztime 10s ./internal/serve
 	$(GO) test -run XXX -fuzz FuzzMergePartialBundles -fuzztime 10s ./internal/distrib
+	$(GO) test -run XXX -fuzz FuzzParseProfile -fuzztime 10s ./internal/crawler
 
-check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke serve-smoke distrib-smoke
+check: build test race vet fuzz-smoke bench-smoke bench-check trace-smoke serve-smoke distrib-smoke interact-smoke
 
 # resume-smoke is the shell-level half of the resume oracle (the Go
 # half is TestResumeOracle): run a checkpointed study to completion,
@@ -118,6 +121,26 @@ distrib-smoke:
 	cmp $(DSMOKE)/ref/metrics.deterministic.json $(DSMOKE)/dist/metrics.deterministic.json
 	rm -rf $(DSMOKE)
 	@echo "distrib-smoke: 4-partition distributed study over worker processes is byte-identical to the single-process run"
+
+# interact-smoke is the shell-level half of the interaction-engine
+# contract (the Go halves are TestInteractDispatchWidthInvariance and
+# TestInteractOffLeavesNoResidue): the EX3 experiment must report a
+# nonzero interaction-only fingerprinter population, and a run without
+# -interact must leave zero engine residue in its bundle artifacts.
+ISMOKE := .interact-smoke
+interact-smoke:
+	rm -rf $(ISMOKE)
+	mkdir -p $(ISMOKE)
+	$(GO) build -o $(ISMOKE)/repro ./cmd/repro
+	$(ISMOKE)/repro -seed 11 -scale 0.02 -exp ex3 -out $(ISMOKE)/ex3.txt >/dev/null
+	grep -q "interaction-only fp sites:" $(ISMOKE)/ex3.txt
+	! grep -q "interaction-only fp sites: 0 " $(ISMOKE)/ex3.txt
+	$(ISMOKE)/repro -seed 11 -scale 0.02 -exp compare -outdir $(ISMOKE)/plain >/dev/null
+	! grep -qi "interact" $(ISMOKE)/plain/events.jsonl
+	! grep -qi "interact" $(ISMOKE)/plain/report.txt
+	! grep -qi "interact" $(ISMOKE)/plain/metrics.json
+	rm -rf $(ISMOKE)
+	@echo "interact-smoke: EX3 reports interaction-only fingerprinters and the engine leaves no residue when off"
 
 # bench runs every benchmark once and writes a dated JSON snapshot
 # (BENCH_2026-08-05.json style) next to the human-readable stream.

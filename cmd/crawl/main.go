@@ -68,6 +68,8 @@ type runOpts struct {
 	FaultRate    float64       `json:"fault_rate,omitempty"`
 	Retries      int           `json:"retries,omitempty"`
 	VisitTimeout time.Duration `json:"visit_timeout,omitempty"`
+	Interact     bool          `json:"interact,omitempty"`
+	Profile      string        `json:"interact_profile,omitempty"`
 }
 
 func main() {
@@ -84,6 +86,8 @@ func main() {
 	interruptAfter := flag.Int("interrupt-after", 0, "stop the crawl after N checkpoint writes and exit 3 (resume-smoke testing)")
 	resumeDir := flag.String("resume", "", "resume a checkpointed crawl from this directory")
 	distribUnit := flag.Bool("distrib-unit", false, "run as a distributed-study worker: crawl the work-unit in the directory argument")
+	interact := flag.Bool("interact", false, "plant interaction-gated vendors and drive seeded per-site behaviour profiles after settle")
+	interactProfile := flag.String("interact-profile", "", "fixed behaviour profile for every site, e.g. 'click,scroll,idle' (default: seeded per-site profiles)")
 	cli := obs.BindCLI(flag.CommandLine)
 	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
@@ -131,13 +135,14 @@ func main() {
 		*seed, *scale, *cohort = ro.Seed, ro.Scale, ro.Cohort
 		*machineName, *blocker, *workers = ro.Machine, ro.Adblock, ro.Workers
 		fcli.Rate, fcli.Retries, fcli.VisitTimeout = ro.FaultRate, ro.Retries, ro.VisitTimeout
+		*interact, *interactProfile = ro.Interact, ro.Profile
 		*ckptDir = *resumeDir
 		tel.Metrics.Restore(cp.Metrics)
 		tel.Events.Restore(cp.Events, cp.EventsSeq, cp.EventsDropped)
 	}
 
 	sp := tel.Tracer.Start("webgen")
-	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000})
+	w := web.Generate(web.Config{Seed: *seed, Scale: *scale, TrancoMax: 1_000_000, Interact: *interact})
 	sp.End()
 
 	var sites []*web.Site
@@ -177,6 +182,15 @@ func main() {
 		log.Fatalf("unknown adblock %q", *blocker)
 	}
 
+	cfg.Interact = *interact
+	if *interactProfile != "" {
+		prof, err := crawler.ParseProfile(*interactProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Behavior = &prof
+	}
+
 	if fcli.Rate > 0 {
 		cfg.Faults = netsim.NewFaultModel(*seed, fcli.Rate)
 		cfg.Retries = fcli.Retries
@@ -210,6 +224,7 @@ func main() {
 			Seed: *seed, Scale: *scale, Cohort: *cohort,
 			Machine: *machineName, Adblock: *blocker, Workers: *workers,
 			FaultRate: fcli.Rate, Retries: fcli.Retries, VisitTimeout: fcli.VisitTimeout,
+			Interact: *interact, Profile: *interactProfile,
 		}); err != nil {
 			log.Fatal(err)
 		}

@@ -30,7 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "study seed")
 	scale := flag.Float64("scale", 0.1, "web scale (1.0 = paper scale)")
 	workers := flag.Int("workers", 8, "crawler workers")
-	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner), 'all', or 'compare'")
+	exp := flag.String("exp", "all", "experiment id (e1..e12, ex1/entropy, ex2/inner, ex3/interact), 'all', or 'compare'")
 	out := flag.String("out", "", "also write the report to this file")
 	dumpDir := flag.String("dump-canvases", "", "write sample canvas images (Figure 2 artifact) to this directory")
 	ckptDir := flag.String("checkpoint", "", "checkpoint the study into this directory (see -resume)")
@@ -38,6 +38,7 @@ func main() {
 	interruptAfter := flag.Int("interrupt-after", 0, "testing: halt the study after N checkpoint writes (exit code 3)")
 	resumeDir := flag.String("resume", "", "resume an interrupted study from this checkpoint directory (ignores the run-shape flags; they come from the checkpoint)")
 	snapshots := flag.Bool("snapshots", false, "reuse control-crawl page bodies across re-crawls via a content-addressed snapshot store")
+	interact := flag.Bool("interact", false, "plant interaction-gated vendors and run the EX3 crawl-vs-interaction experiment")
 	cli := obs.BindCLI(flag.CommandLine)
 	fcli := obs.BindFaultCLI(flag.CommandLine)
 	flag.Parse()
@@ -56,7 +57,8 @@ func main() {
 	}
 
 	// Extension experiments run lean: EX1 needs no crawl; EX2 needs only
-	// the control crawl plus the inner-page re-crawl.
+	// the control crawl plus the inner-page re-crawl; EX3 the control
+	// crawl plus the interaction-driven re-crawl.
 	switch e := strings.ToLower(*exp); e {
 	case "entropy", "ex1":
 		emit(canvassing.EntropyAnalysis(48, *seed).Render(), *out)
@@ -64,6 +66,15 @@ func main() {
 	case "inner", "ex2":
 		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers, AnalysisWorkers: cli.AnalysisWorkers, TraceVisits: cli.Tracez})
 		text := s.InnerPages().Render()
+		if cli.Metrics {
+			text += "\n" + s.TelemetryReport()
+		}
+		emit(text, *out)
+		finishTelemetry(s, cli)
+		return
+	case "interact", "ex3":
+		s := canvassing.Run(canvassing.Options{Seed: *seed, Scale: *scale, Workers: *workers, AnalysisWorkers: cli.AnalysisWorkers, TraceVisits: cli.Tracez, Interact: true})
+		text := s.InteractionGap().Render()
 		if cli.Metrics {
 			text += "\n" + s.TelemetryReport()
 		}
@@ -88,6 +99,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		SnapshotReuse:   *snapshots,
 		TraceVisits:     cli.Tracez,
+		Interact:        *interact,
 	})
 	if ck := s.Checkpointer(); ck != nil {
 		ck.StopAfter = *interruptAfter

@@ -47,6 +47,7 @@ func (s *Study) studySpec() distrib.StudySpec {
 		SnapshotReuse:   s.Options.SnapshotReuse,
 		TraceVisits:     s.Options.TraceVisits,
 		CheckpointEvery: s.Options.CheckpointEvery,
+		Interact:        s.Options.Interact,
 	}
 }
 
@@ -113,6 +114,7 @@ func RunWorkUnit(dir string, stopAfter int) (interrupted bool, err error) {
 	s := New(Options{
 		Seed: st.Seed, Scale: st.Scale, Workers: st.Workers,
 		FaultRate: st.FaultRate, Retries: st.Retries, VisitTimeout: st.VisitTimeout,
+		Interact: st.Interact,
 	})
 	env, err := s.unitEnv(spec)
 	if err != nil {

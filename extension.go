@@ -2,6 +2,7 @@ package canvassing
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"canvassing/internal/crawler"
@@ -73,6 +74,138 @@ func (r InnerPagesResult) Render() string {
 		r.HomepageFPTail, report.Pct(r.HomepageFPTail, r.CrawledTail),
 		r.InnerFPTail, report.Pct(r.InnerFPTail, r.CrawledTail))
 	sb.WriteString("  (the paper's homepage-only prevalence is a lower bound, as §3.2 states)\n")
+	return sb.String()
+}
+
+// VendorGap is one deferred vendor's share of the interaction gap:
+// how many interaction-only fingerprinting sites its script pattern
+// attributes.
+type VendorGap struct {
+	Name  string
+	Sites int
+}
+
+// InteractionGapResult is the EX3 extension experiment: how much canvas
+// fingerprinting a load-time crawl misses because the script waits for
+// a user signal — a click, a scroll, or an idle pause — before probing
+// ("Beyond the Crawl", Annamalai & De Cristofaro). The control crawl is
+// the load-time baseline; the re-crawl runs the crawler's interaction
+// engine, which drives a seeded per-site behaviour profile after the
+// page settles.
+type InteractionGapResult struct {
+	// Per cohort: fingerprinting sites seen by the load-time crawl vs
+	// by the interaction-driven crawl.
+	LoadFPPop, InteractFPPop   int
+	LoadFPTail, InteractFPTail int
+	CrawledPop, CrawledTail    int
+	// InteractionOnly are the domains (sorted) that fingerprint only
+	// under interaction.
+	InteractionOnly []string
+	// Vendors attributes the interaction-only sites to the deferred
+	// vendors by script-URL pattern, in services.Deferred() order.
+	Vendors []VendorGap
+	// Unattributed counts interaction-only sites whose extracting
+	// script matches no deferred-vendor pattern (first-party bundles
+	// hide the vendor host, exactly as they do in Table 1 attribution).
+	Unattributed int
+}
+
+// InteractionGap runs EX3. It needs the control crawl (load-time
+// baseline) and is memoized: the report renderer and the repro CLI
+// share one interaction re-crawl.
+func (s *Study) InteractionGap() InteractionGapResult {
+	if s.interactCache != nil {
+		return *s.interactCache
+	}
+	var r InteractionGapResult
+	baseline := make(map[string]bool)
+	for i := range s.Sites {
+		st := &s.Sites[i]
+		if !st.OK {
+			continue
+		}
+		fp := st.HasFingerprinting()
+		if fp {
+			baseline[st.Domain] = true
+		}
+		switch st.Cohort {
+		case web.Popular:
+			r.CrawledPop++
+			if fp {
+				r.LoadFPPop++
+			}
+		case web.Tail:
+			r.CrawledTail++
+			if fp {
+				r.LoadFPTail++
+			}
+		}
+	}
+	cfg := s.crawlConfig(CondInteract)
+	cfg.Interact = true
+	res := crawler.Crawl(s.Web, s.crawlSites, cfg)
+	deferred := services.Deferred()
+	vendorSites := make(map[string]map[string]bool, len(deferred))
+	for _, sc := range s.analyzeAll(res.Pages, CondInteract) {
+		if !sc.OK || !sc.HasFingerprinting() {
+			continue
+		}
+		switch sc.Cohort {
+		case web.Popular:
+			r.InteractFPPop++
+		case web.Tail:
+			r.InteractFPTail++
+		}
+		if baseline[sc.Domain] {
+			continue
+		}
+		r.InteractionOnly = append(r.InteractionOnly, sc.Domain)
+		matched := false
+		for _, c := range sc.Fingerprintable() {
+			for _, v := range deferred {
+				if strings.Contains(c.ScriptURL, v.URLPattern) {
+					if vendorSites[v.Slug] == nil {
+						vendorSites[v.Slug] = make(map[string]bool)
+					}
+					vendorSites[v.Slug][sc.Domain] = true
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			r.Unattributed++
+		}
+	}
+	sort.Strings(r.InteractionOnly)
+	for _, v := range deferred {
+		r.Vendors = append(r.Vendors, VendorGap{Name: v.Name, Sites: len(vendorSites[v.Slug])})
+	}
+	s.interactCache = &r
+	return r
+}
+
+// Render formats EX3.
+func (r InteractionGapResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("EX3 — Beyond the crawl: interaction-triggered fingerprinting (extension)\n")
+	fmt.Fprintf(&sb, "  popular: load-time %d fp sites (%s) → with interaction %d (%s)\n",
+		r.LoadFPPop, report.Pct(r.LoadFPPop, r.CrawledPop),
+		r.InteractFPPop, report.Pct(r.InteractFPPop, r.CrawledPop))
+	fmt.Fprintf(&sb, "  tail:    load-time %d fp sites (%s) → with interaction %d (%s)\n",
+		r.LoadFPTail, report.Pct(r.LoadFPTail, r.CrawledTail),
+		r.InteractFPTail, report.Pct(r.InteractFPTail, r.CrawledTail))
+	fpLoad := r.LoadFPPop + r.LoadFPTail
+	fmt.Fprintf(&sb, "  interaction-only fp sites: %d (a %s lift over the load-time population)\n",
+		len(r.InteractionOnly), report.Pct(len(r.InteractionOnly), fpLoad))
+	for _, v := range r.Vendors {
+		fmt.Fprintf(&sb, "    %-24s %d sites\n", v.Name, v.Sites)
+	}
+	if r.Unattributed > 0 {
+		fmt.Fprintf(&sb, "    %-24s %d sites (first-party bundles hide the vendor host)\n",
+			"unattributed", r.Unattributed)
+	}
+	sb.WriteString("  (timer-deferred probes like Forter fire under the settle drain, so they\n")
+	sb.WriteString("   count as load-time; only gesture/idle-gated vendors create the gap)\n")
 	return sb.String()
 }
 

@@ -152,6 +152,16 @@ type Config struct {
 	// the homepage — the paper's crawler deliberately does NOT (§3.2
 	// limitation); the EX2 extension experiment flips this on.
 	VisitInnerPages bool
+	// Interact turns on the interaction engine: after the page settles,
+	// the crawler drives a seeded per-site user-behaviour profile
+	// (click/scroll/focus/idle) against the page's event-handler
+	// registry, surfacing fingerprinting deferred behind handlers and
+	// idle callbacks ("Beyond the Crawl"). Off, the crawl sees only
+	// load-time behaviour plus the settle-time timer drain.
+	Interact bool
+	// Behavior, when non-nil with Interact, replaces the seeded
+	// per-site profile with a fixed action script for every page.
+	Behavior *BehaviorProfile
 	// KeepRecords retains raw API call records (memory-heavy).
 	KeepRecords bool
 	// MaxStepsPerScript bounds each script's execution; <=0 → 20M
@@ -338,6 +348,10 @@ type crawlMetrics struct {
 	// runs with a FaultModel, so fault-free runs leave the registry —
 	// and therefore run bundles — byte-identical to earlier builds.
 	faults *faultMetrics
+	// interact holds the interaction-engine counters; nil unless the
+	// crawl runs with Config.Interact, under the same bundle-stability
+	// contract as faults.
+	interact *interactMetrics
 }
 
 // faultMetrics are the retry/timeout/circuit-breaker counters the
@@ -547,6 +561,9 @@ func Crawl(w *web.Web, sites []*web.Site, cfg Config) *Result {
 		mx.workers.Set(int64(cfg.Workers))
 		if cfg.Faults != nil {
 			mx.faults = newFaultMetrics(cfg.Telemetry.Metrics)
+		}
+		if cfg.Interact {
+			mx.interact = newInteractMetrics(cfg.Telemetry.Metrics)
 		}
 		evs = cfg.Telemetry.Events
 		st = cfg.Telemetry.Status
@@ -968,6 +985,9 @@ func visit(w *web.Web, site *web.Site, idx int, cfg Config, cache *progCache, mx
 		}
 		prev := currentScript
 		currentScript = req.URL
+		// Handlers and timers this script registers attribute back to
+		// it when they fire at settle or under interaction.
+		doc.SetScriptOwner(req.URL)
 		in.ResetSteps()
 		seqBefore := seq
 		var execSp *tracez.Span
@@ -1000,6 +1020,7 @@ func visit(w *web.Web, site *web.Site, idx int, cfg Config, cache *progCache, mx
 			d.observe(mx.vmSteps, float64(in.Steps()))
 		}
 		currentScript = prev
+		doc.SetScriptOwner(prev)
 		closeScript()
 	}
 
@@ -1020,6 +1041,24 @@ func visit(w *web.Web, site *web.Site, idx int, cfg Config, cache *progCache, mx
 		for _, ps := range site.InnerScripts {
 			runScript(ps, false)
 		}
+	}
+	// Page-settle: drain queued timers (always), then drive the site's
+	// behaviour profile against the handler registry (Interact only).
+	var interactSp *tracez.Span
+	if vb != nil && cfg.Interact {
+		interactSp = vb.Open(vb.Root(), "interact")
+	}
+	var imx *interactMetrics
+	if mx != nil {
+		imx = mx.interact
+	}
+	callbacks := settlePage(doc, in, site, &cfg, d, evs, imx, func(u string) { currentScript = u })
+	if interactSp != nil {
+		// Callback count is the phase's deterministic cost: a function
+		// of (seed, site, web), never of scheduling.
+		interactSp.Cost = int64(callbacks)
+		interactSp.SetLabel("callbacks", fmt.Sprint(callbacks))
+		vb.Close(interactSp)
 	}
 	sort.Slice(pr.Extractions, func(i, j int) bool { return pr.Extractions[i].Seq < pr.Extractions[j].Seq })
 	if mx != nil {

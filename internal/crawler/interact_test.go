@@ -1,0 +1,231 @@
+package crawler
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"canvassing/internal/web"
+)
+
+// interactWeb generates a web that carries the interaction-gated vendor
+// deployments.
+func interactWeb(t *testing.T) *web.Web {
+	t.Helper()
+	return web.Generate(web.Config{Seed: 21, Scale: 0.03, TrancoMax: 1_000_000, Interact: true})
+}
+
+func TestParseProfile(t *testing.T) {
+	good := []string{
+		"click",
+		"click,scroll,idle",
+		" click , focus ,idle",
+	}
+	for _, in := range good {
+		p, err := ParseProfile(in)
+		if err != nil {
+			t.Fatalf("ParseProfile(%q): %v", in, err)
+		}
+		// Round trip: String() re-parses to the same profile.
+		q, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", p.String(), err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("round trip changed profile: %q vs %q", p.String(), q.String())
+		}
+	}
+	bad := []string{"", "click,,idle", "hover", "click scroll", strings.Repeat("click,", MaxProfileActions) + "click"}
+	for _, in := range bad {
+		if _, err := ParseProfile(in); err == nil {
+			t.Fatalf("ParseProfile(%q) accepted invalid input", in)
+		}
+	}
+}
+
+// FuzzParseProfile pins the parser's round-trip property: any input the
+// parser accepts must re-render (String) into a form it accepts again,
+// yielding the identical profile; and no input may panic it.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("click")
+	f.Add("click,scroll,focus,idle")
+	f.Add(" idle ,click")
+	f.Add("")
+	f.Add("hover")
+	f.Add("click,")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseProfile(in)
+		if err != nil {
+			return
+		}
+		if len(p.Actions) == 0 || len(p.Actions) > MaxProfileActions {
+			t.Fatalf("accepted profile with %d actions", len(p.Actions))
+		}
+		q, err := ParseProfile(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", p.String(), err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("round trip not stable: %q vs %q", p.String(), q.String())
+		}
+	})
+}
+
+func TestProfileForDeterministicAndShaped(t *testing.T) {
+	domains := []string{"a.example", "b.example", "c.example", "d.example"}
+	distinct := make(map[string]bool)
+	for _, d := range domains {
+		p1 := ProfileFor(7, d)
+		p2 := ProfileFor(7, d)
+		if p1.String() != p2.String() {
+			t.Fatalf("ProfileFor(7, %s) not deterministic: %q vs %q", d, p1.String(), p2.String())
+		}
+		distinct[p1.String()] = true
+		if n := len(p1.Actions); n == 0 || n > MaxProfileActions {
+			t.Fatalf("profile for %s has %d actions", d, n)
+		}
+		// Every profile carries at least one click (the gesture most
+		// gated vendors key on) and ends with an idle pause.
+		hasClick := false
+		for _, a := range p1.Actions {
+			if a.Kind == ActionClick {
+				hasClick = true
+			}
+		}
+		if !hasClick {
+			t.Fatalf("profile for %s has no click: %q", d, p1.String())
+		}
+		if p1.Actions[len(p1.Actions)-1].Kind != ActionIdle {
+			t.Fatalf("profile for %s does not end idle: %q", d, p1.String())
+		}
+		if ProfileFor(8, d).String() == p1.String() && ProfileFor(9, d).String() == p1.String() {
+			t.Fatalf("profile for %s ignores the seed", d)
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all domains drew the same profile")
+	}
+}
+
+// TestInteractionSurfacesDeferredVendors is the engine's reason to
+// exist: on a web carrying interaction-gated deployments, the
+// interaction crawl must extract canvases from the gesture/idle-gated
+// vendor scripts that the plain load-time crawl never sees.
+func TestInteractionSurfacesDeferredVendors(t *testing.T) {
+	w := interactWeb(t)
+	sites := append(w.CohortSites(web.Popular), w.CohortSites(web.Tail)...)
+
+	plain := Crawl(w, sites, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Interact = true
+	driven := Crawl(w, sites, cfg)
+
+	gated := []string{"datadome.co", "moatads.com", "online-metrix.net"}
+	count := func(res *Result, pattern string) int {
+		n := 0
+		for _, p := range res.SuccessfulPages() {
+			for _, e := range p.Extractions {
+				if strings.Contains(e.ScriptURL, pattern) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for _, pat := range gated {
+		if n := count(plain, pat); n != 0 {
+			t.Errorf("load-time crawl extracted %d canvases from gated vendor %s", n, pat)
+		}
+		if n := count(driven, pat); n == 0 {
+			t.Errorf("interaction crawl extracted nothing from gated vendor %s", pat)
+		}
+	}
+	// Forter only defers by timer; the settle drain catches it in BOTH
+	// crawls — the control that separates "deferred" from "gated".
+	if n := count(plain, "forter.com"); n == 0 {
+		t.Error("settle drain missed Forter's setTimeout probe in the plain crawl")
+	}
+}
+
+// TestInteractEngineInertWithoutHandlers pins the Interact=false
+// compatibility contract from the crawler side: driving the interaction
+// engine over a web with NO gated deployments changes no page result —
+// the baseline scripts register no handlers, so every dispatch finds an
+// empty registry and extractions stay identical.
+func TestInteractEngineInertWithoutHandlers(t *testing.T) {
+	w := testWeb(t) // no Interact: no deferred deployments
+	sites := w.CohortSites(web.Popular)
+
+	plain := Crawl(w, sites, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Interact = true
+	driven := Crawl(w, sites, cfg)
+
+	a, err := json.Marshal(plain.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(driven.Pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("interaction engine changed page results on a handler-free web")
+	}
+}
+
+// TestFixedBehaviorProfile pins Config.Behavior: a caller-supplied
+// profile overrides the seeded per-site ones for every site.
+func TestFixedBehaviorProfile(t *testing.T) {
+	w := interactWeb(t)
+	sites := w.CohortSites(web.Popular)
+
+	prof, err := ParseProfile("scroll,idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Interact = true
+	cfg.Behavior = &prof
+	res := Crawl(w, sites, cfg)
+
+	// Without any click, click-gated DataDome must stay invisible while
+	// scroll-gated Moat fires.
+	sawMoat, sawDD := false, false
+	for _, p := range res.SuccessfulPages() {
+		for _, e := range p.Extractions {
+			if strings.Contains(e.ScriptURL, "moatads.com") {
+				sawMoat = true
+			}
+			if strings.Contains(e.ScriptURL, "datadome.co") {
+				sawDD = true
+			}
+		}
+	}
+	if !sawMoat {
+		t.Error("scroll profile did not trigger the scroll-gated vendor")
+	}
+	if sawDD {
+		t.Error("profile without clicks triggered the click-gated vendor")
+	}
+}
+
+func BenchmarkProfileFor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ProfileFor(uint64(i), "bench.example")
+	}
+}
+
+// BenchmarkInteractCrawl measures the interaction engine's full cost on
+// top of BenchmarkCrawlPopular: same scale, deferred vendors planted,
+// per-site behaviour profiles driven after settle.
+func BenchmarkInteractCrawl(b *testing.B) {
+	w := web.Generate(web.Config{Seed: 21, Scale: 0.01, TrancoMax: 1_000_000, Interact: true})
+	sites := w.CohortSites(web.Popular)
+	cfg := DefaultConfig()
+	cfg.Interact = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Crawl(w, sites, cfg)
+	}
+}

@@ -88,6 +88,11 @@ type StudySpec struct {
 	// CheckpointEvery is the unit-level checkpoint cadence in committed
 	// pages (<=0 selects the checkpoint default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Interact plants the interaction-gated vendor deployments in the
+	// worker's regenerated web. The distributable load-time crawls
+	// never drive them, but the pages must carry the same script tags
+	// as the coordinator's web or the partials diverge.
+	Interact bool `json:"interact,omitempty"`
 }
 
 // UnitSpec is one work-unit: a contiguous range [Start, End) of one

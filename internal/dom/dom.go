@@ -31,23 +31,34 @@ type Document struct {
 	// Canvases collects every canvas element created by page scripts,
 	// in creation order.
 	Canvases []*canvas.Element
+	// Loop is the page's deterministic event loop: the handler
+	// registry and timer/idle queues behind addEventListener,
+	// setTimeout/setInterval and requestIdleCallback.
+	Loop *Loop
 
 	byID map[string]jsvm.Value
 }
 
 // NewDocument returns an empty document rendered on the given profile.
 func NewDocument(profile *machine.Profile, domain string) *Document {
-	return &Document{Profile: profile, Domain: domain, byID: map[string]jsvm.Value{}}
+	return &Document{Profile: profile, Domain: domain, Loop: NewLoop(), byID: map[string]jsvm.Value{}}
 }
 
 // Install binds document, navigator and window into the interpreter's
-// global scope.
+// global scope and attaches the event loop to the VM so queued
+// callbacks can re-enter it.
 func (d *Document) Install(in *jsvm.Interp) {
+	d.Loop.in = in
 	in.SetGlobal("document", jsvm.NewHost(&documentHost{doc: d}))
 	in.SetGlobal("navigator", jsvm.NewHost(&navigatorHost{doc: d}))
 	in.SetGlobal("window", jsvm.NewHost(&windowHost{doc: d}))
 	in.SetGlobal("screen", jsvm.NewHost(&screenHost{}))
 }
+
+// SetScriptOwner records the URL of the script about to execute, so
+// handlers and timers it registers are attributed back to it when they
+// fire later.
+func (d *Document) SetScriptOwner(url string) { d.Loop.SetOwner(url) }
 
 // --- document -------------------------------------------------------------
 
@@ -80,7 +91,7 @@ func (h *documentHost) HostGet(name string) (jsvm.Value, bool) {
 	case "domain":
 		return jsvm.String(h.doc.Domain), true
 	case "addEventListener", "removeEventListener":
-		return noopNative(), true
+		return listenerNatives(h.doc.Loop, "document", name)
 	case "__string__":
 		return jsvm.String("[object HTMLDocument]"), true
 	}
@@ -124,7 +135,9 @@ func (h *genericElementHost) HostGet(name string) (jsvm.Value, bool) {
 		return jsvm.String(h.tag), true
 	case "style":
 		return jsvm.NewObject(), true
-	case "appendChild", "removeChild", "addEventListener", "setAttribute", "remove":
+	case "addEventListener", "removeEventListener":
+		return listenerNatives(h.doc.Loop, "element:"+h.tag, name)
+	case "appendChild", "removeChild", "setAttribute", "remove":
 		return noopNative(), true
 	case "__string__":
 		return jsvm.String("[object HTMLElement]"), true
@@ -199,7 +212,9 @@ func (h *CanvasHost) HostGet(name string) (jsvm.Value, bool) {
 		}), true
 	case "style":
 		return jsvm.NewObject(), true
-	case "addEventListener", "setAttribute", "remove":
+	case "addEventListener", "removeEventListener":
+		return listenerNatives(h.doc.Loop, "canvas", name)
+	case "setAttribute", "remove":
 		return noopNative(), true
 	case "__string__":
 		return jsvm.String("[object HTMLCanvasElement]"), true
@@ -659,11 +674,48 @@ func (h *windowHost) HostGet(name string) (jsvm.Value, bool) {
 		return jsvm.Number(1080), true
 	case "devicePixelRatio":
 		return jsvm.Number(1), true
-	case "addEventListener", "setTimeout", "setInterval":
-		// Timers run their callback synchronously: the crawler models the
-		// settled state of the page, not its event timeline.
+	case "addEventListener", "removeEventListener":
+		return listenerNatives(h.doc.Loop, "window", name)
+	case "setTimeout", "setInterval":
+		// Callbacks are queued, not run: the crawler drains the loop
+		// deterministically at page-settle. Ids are unique and
+		// monotonically increasing, as scripts expect.
+		interval := name == "setInterval"
 		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
-			return jsvm.Number(0), nil
+			var fn jsvm.Value
+			delay := 0.0
+			if len(args) > 0 {
+				fn = args[0]
+			}
+			if len(args) > 1 {
+				delay = args[1].Num()
+			}
+			if interval {
+				return jsvm.Number(float64(h.doc.Loop.SetInterval(fn, delay))), nil
+			}
+			return jsvm.Number(float64(h.doc.Loop.SetTimeout(fn, delay))), nil
+		}), true
+	case "clearTimeout", "clearInterval":
+		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) > 0 {
+				h.doc.Loop.ClearTimer(int(args[0].Num()))
+			}
+			return jsvm.Undefined(), nil
+		}), true
+	case "requestIdleCallback":
+		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			var fn jsvm.Value
+			if len(args) > 0 {
+				fn = args[0]
+			}
+			return jsvm.Number(float64(h.doc.Loop.RequestIdle(fn))), nil
+		}), true
+	case "cancelIdleCallback":
+		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) > 0 {
+				h.doc.Loop.CancelIdle(int(args[0].Num()))
+			}
+			return jsvm.Undefined(), nil
 		}), true
 	case "location":
 		loc := jsvm.NewObject()

@@ -373,10 +373,169 @@ func TestArcToAndIsPointInPathFromScript(t *testing.T) {
 	}
 }
 
-func TestSetTimeoutRunsNothing(t *testing.T) {
-	in, _ := newVM(t)
-	// setTimeout returns a timer id but does not run the callback.
+func TestSetTimeoutQueuesUntilSettle(t *testing.T) {
+	in, doc := newVM(t)
+	// setTimeout must not run the callback synchronously...
 	if v := mustRun(t, in, `var hit = 0; window.setTimeout(function(){ hit = 1; }, 0); hit`); v.Num() != 0 {
-		t.Fatal("setTimeout callback must not run synchronously in this model")
+		t.Fatal("setTimeout callback must not run synchronously")
+	}
+	// ...but the queued callback runs deterministically at page-settle.
+	if ran := doc.Loop.RunTimers(nil); ran != 1 {
+		t.Fatalf("drain ran %d callbacks, want 1", ran)
+	}
+	if v := mustRun(t, in, `hit`); v.Num() != 1 {
+		t.Fatal("queued callback must run at settle drain")
+	}
+}
+
+func TestTimerIDsUniqueAndClearable(t *testing.T) {
+	in, doc := newVM(t)
+	// Ids are unique and monotonically increasing (the old stub
+	// returned a constant 0 for every registration).
+	v := mustRun(t, in, `
+	var a = window.setTimeout(function(){}, 0);
+	var b = window.setTimeout(function(){}, 5);
+	var c = window.setInterval(function(){}, 10);
+	(a < b) + ':' + (b < c) + ':' + a`)
+	if v.Str() != "true:true:1" {
+		t.Fatalf("timer ids: %s", v.Str())
+	}
+	// clearTimeout actually cancels.
+	mustRun(t, in, `
+	var fired = 0;
+	var id = window.setTimeout(function(){ fired = 1; }, 0);
+	window.clearTimeout(id);
+	window.clearInterval(c);`)
+	doc.Loop.RunTimers(nil)
+	if v := mustRun(t, in, `fired`); v.Num() != 0 {
+		t.Fatal("cleared timer must not fire")
+	}
+}
+
+func TestTimersDrainInDelayOrder(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var order = '';
+	window.setTimeout(function(){ order += 'b'; }, 50);
+	window.setTimeout(function(){ order += 'a'; }, 10);
+	window.setTimeout(function(){ order += 'c'; }, 50);`)
+	doc.Loop.RunTimers(nil)
+	if v := mustRun(t, in, `order`); v.Str() != "abc" {
+		t.Fatalf("drain order %q, want abc ((delay, id) order)", v.Str())
+	}
+}
+
+func TestIntervalTicksBounded(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `var ticks = 0; window.setInterval(function(){ ticks++; }, 10);`)
+	doc.Loop.RunTimers(nil)
+	if v := mustRun(t, in, `ticks`); v.Num() != maxIntervalTicks {
+		t.Fatalf("interval ticks = %v, want %d", v.Num(), maxIntervalTicks)
+	}
+}
+
+func TestTimerChainBudget(t *testing.T) {
+	in, doc := newVM(t)
+	// A self-rescheduling chain must stop at the drain budget, not spin.
+	mustRun(t, in, `
+	var n = 0;
+	function again() { n++; window.setTimeout(again, 1); }
+	window.setTimeout(again, 1);`)
+	ran := doc.Loop.RunTimers(nil)
+	if ran != drainBudget {
+		t.Fatalf("chain ran %d callbacks, want drain budget %d", ran, drainBudget)
+	}
+}
+
+func TestAddRemoveDispatch(t *testing.T) {
+	in, doc := newVM(t)
+	// add → remove → dispatch on every host kind: the removed handler
+	// must not fire, the surviving ones must, in registration order.
+	mustRun(t, in, `
+	var log = '';
+	function gone() { log += 'X'; }
+	document.addEventListener('click', function(){ log += 'd'; });
+	document.addEventListener('click', gone);
+	document.removeEventListener('click', gone);
+	window.addEventListener('click', function(){ log += 'w'; });
+	var div = document.createElement('div');
+	div.addEventListener('click', function(){ log += 'e'; });
+	var c = document.createElement('canvas');
+	c.addEventListener('click', function(){ log += 'c'; });`)
+	if got := len(doc.Loop.Handlers()); got != 4 {
+		t.Fatalf("live handlers = %d, want 4 after remove", got)
+	}
+	ran := doc.Loop.Dispatch("click", nil)
+	if ran != 4 {
+		t.Fatalf("dispatch ran %d handlers, want 4", ran)
+	}
+	if v := mustRun(t, in, `log`); v.Str() != "dwec" {
+		t.Fatalf("dispatch order %q, want dwec (registration order, no removed handler)", v.Str())
+	}
+	// Unrelated event types stay quiet.
+	if ran := doc.Loop.Dispatch("scroll", nil); ran != 0 {
+		t.Fatalf("scroll dispatch ran %d handlers, want 0", ran)
+	}
+}
+
+func TestDispatchEventObject(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var seen = '';
+	window.addEventListener('click', function(ev){ seen = ev.type + ':' + ev.isTrusted; });`)
+	doc.Loop.Dispatch("click", nil)
+	if v := mustRun(t, in, `seen`); v.Str() != "click:true" {
+		t.Fatalf("event object: %s", v.Str())
+	}
+}
+
+func TestRequestIdleCallback(t *testing.T) {
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	var idle = '';
+	var id = window.requestIdleCallback(function(d){ idle = 'ran:' + (d.timeRemaining() > 0); });
+	var dead = window.requestIdleCallback(function(){ idle = 'wrong'; });
+	window.cancelIdleCallback(dead);`)
+	if ran := doc.Loop.RunIdle(nil); ran != 1 {
+		t.Fatalf("idle drain ran %d, want 1", ran)
+	}
+	if v := mustRun(t, in, `idle`); v.Str() != "ran:true" {
+		t.Fatalf("idle callback: %s", v.Str())
+	}
+}
+
+func TestHandlerOwnerAttribution(t *testing.T) {
+	in, doc := newVM(t)
+	doc.SetScriptOwner("https://vendor.example/fp.js")
+	mustRun(t, in, `window.addEventListener('click', function(){});
+	window.setTimeout(function(){}, 0);`)
+	doc.SetScriptOwner("")
+	var owners []string
+	doc.Loop.Dispatch("click", func(owner string) { owners = append(owners, owner) })
+	doc.Loop.RunTimers(func(owner string) { owners = append(owners, owner) })
+	if len(owners) != 2 || owners[0] != "https://vendor.example/fp.js" || owners[1] != owners[0] {
+		t.Fatalf("owner attribution: %v", owners)
+	}
+}
+
+func TestDeferredFingerprintOnlyUnderDispatch(t *testing.T) {
+	// The end-to-end shape of the bug this PR fixes: a vendor script
+	// that defers canvas extraction behind a click handler is invisible
+	// to a load-time-only crawl and visible once the event fires.
+	in, doc := newVM(t)
+	mustRun(t, in, `
+	window.addEventListener('click', function(){
+		var c = document.createElement('canvas');
+		c.width = 64; c.height = 16;
+		var ctx = c.getContext('2d');
+		ctx.fillText('deferred', 2, 12);
+		c.toDataURL();
+	});`)
+	if len(doc.Canvases) != 0 {
+		t.Fatal("no canvas before dispatch")
+	}
+	doc.Loop.Dispatch("click", nil)
+	if len(doc.Canvases) != 1 {
+		t.Fatalf("canvas count after dispatch = %d, want 1", len(doc.Canvases))
 	}
 }

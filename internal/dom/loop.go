@@ -1,0 +1,373 @@
+// The event loop. Real pages defer work behind event handlers, timers
+// and idle callbacks; vendor scripts increasingly hide fingerprinting
+// there too ("Beyond the Crawl", Annamalai & De Cristofaro). The stubs
+// this file replaces silently dropped every callback, so deferred
+// fingerprinting was invisible to the whole pipeline.
+//
+// The loop is deterministic by construction: handlers dispatch in
+// registration order, timers drain in (delay, id) order with ids
+// assigned monotonically, and idle callbacks drain in id order. No
+// wall clock is consulted anywhere — "time" is the virtual delay the
+// script asked for, so two runs of the same page produce the same
+// callback schedule on any machine at any worker width.
+package dom
+
+import (
+	"canvassing/internal/jsvm"
+)
+
+// drainBudget bounds the number of callbacks a single drain will run.
+// Self-rescheduling timer chains (setTimeout from inside a timer
+// callback) and interval timers would otherwise spin forever; the
+// budget cuts them off at the same point in every run.
+const drainBudget = 256
+
+// maxIntervalTicks is how many times a setInterval callback fires per
+// drain before the loop retires it. Real intervals fire unboundedly;
+// three ticks is enough to observe periodic behaviour without letting
+// one interval eat the whole drain budget.
+const maxIntervalTicks = 3
+
+// Handler is one addEventListener registration.
+type Handler struct {
+	// ID is the registration sequence number, unique per page.
+	ID int
+	// Target names the host the listener was attached to:
+	// "window", "document", "element:<tag>" or "canvas".
+	Target string
+	// Type is the event type ("click", "scroll", "focus", ...).
+	Type string
+	// Owner is the URL of the script that registered the handler,
+	// for extraction attribution when the handler later fires.
+	Owner string
+
+	fn      jsvm.Value
+	removed bool
+}
+
+type timer struct {
+	id       int
+	delay    float64 // virtual milliseconds; cumulative for intervals
+	period   float64 // > 0 for setInterval
+	ticks    int     // interval firings so far
+	owner    string
+	fn       jsvm.Value
+	canceled bool
+}
+
+type idleCallback struct {
+	id       int
+	owner    string
+	fn       jsvm.Value
+	canceled bool
+}
+
+// Loop is the per-page deterministic event loop: the handler registry,
+// timer queue and idle-callback queue behind window/document/element
+// natives.
+type Loop struct {
+	in *jsvm.Interp
+
+	handlers   []*Handler
+	nextHID    int
+	timers     []*timer
+	nextTID    int
+	idles      []*idleCallback
+	nextIdle   int
+	owner      string
+	dispatches int
+}
+
+// NewLoop returns an empty loop. The interpreter is attached later by
+// Document.Install because the document is built before the VM.
+func NewLoop() *Loop { return &Loop{} }
+
+// SetOwner records the URL of the script currently executing, so
+// registrations made while it runs are attributed to it.
+func (l *Loop) SetOwner(url string) { l.owner = url }
+
+// AddListener registers fn for events of the given type on target and
+// returns the registration. Non-callable values are ignored, as in a
+// real browser.
+func (l *Loop) AddListener(target, typ string, fn jsvm.Value) *Handler {
+	if !fn.IsCallable() {
+		return nil
+	}
+	l.nextHID++
+	h := &Handler{ID: l.nextHID, Target: target, Type: typ, Owner: l.owner, fn: fn}
+	l.handlers = append(l.handlers, h)
+	return h
+}
+
+// RemoveListener unregisters the first live handler on target whose
+// type matches and whose function is the same object (===), mirroring
+// removeEventListener semantics.
+func (l *Loop) RemoveListener(target, typ string, fn jsvm.Value) {
+	for _, h := range l.handlers {
+		if !h.removed && h.Target == target && h.Type == typ && jsvm.StrictEquals(h.fn, fn) {
+			h.removed = true
+			return
+		}
+	}
+}
+
+// Handlers returns the live registrations, in registration order.
+func (l *Loop) Handlers() []*Handler {
+	out := make([]*Handler, 0, len(l.handlers))
+	for _, h := range l.handlers {
+		if !h.removed {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// SetTimeout queues fn after delay virtual milliseconds and returns the
+// timer id (unique, monotonically increasing from 1).
+func (l *Loop) SetTimeout(fn jsvm.Value, delay float64) int {
+	return l.addTimer(fn, delay, 0)
+}
+
+// SetInterval queues fn every period virtual milliseconds and returns
+// the timer id. Ids share the setTimeout sequence, as in browsers.
+func (l *Loop) SetInterval(fn jsvm.Value, period float64) int {
+	if period < 1 {
+		period = 1
+	}
+	return l.addTimer(fn, period, period)
+}
+
+func (l *Loop) addTimer(fn jsvm.Value, delay, period float64) int {
+	l.nextTID++
+	id := l.nextTID
+	if fn.IsCallable() {
+		if delay < 0 {
+			delay = 0
+		}
+		l.timers = append(l.timers, &timer{id: id, delay: delay, period: period, owner: l.owner, fn: fn})
+	}
+	return id
+}
+
+// ClearTimer cancels a pending setTimeout or setInterval by id.
+func (l *Loop) ClearTimer(id int) {
+	for _, t := range l.timers {
+		if t.id == id {
+			t.canceled = true
+		}
+	}
+}
+
+// RequestIdle queues fn for the idle phase and returns its id.
+func (l *Loop) RequestIdle(fn jsvm.Value) int {
+	l.nextIdle++
+	id := l.nextIdle
+	if fn.IsCallable() {
+		l.idles = append(l.idles, &idleCallback{id: id, owner: l.owner, fn: fn})
+	}
+	return id
+}
+
+// CancelIdle cancels a pending idle callback by id.
+func (l *Loop) CancelIdle(id int) {
+	for _, ic := range l.idles {
+		if ic.id == id {
+			ic.canceled = true
+		}
+	}
+}
+
+// PendingTimers reports how many timers are queued (canceled included
+// until the next drain discards them).
+func (l *Loop) PendingTimers() int {
+	n := 0
+	for _, t := range l.timers {
+		if !t.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingIdles reports how many idle callbacks are queued.
+func (l *Loop) PendingIdles() int {
+	n := 0
+	for _, ic := range l.idles {
+		if !ic.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Dispatch fires every live handler for the event type, in registration
+// order, and returns how many callbacks ran. before, if non-nil, runs
+// ahead of each callback with the owning script's URL so the caller can
+// attribute canvas activity the handler triggers. Callback errors are
+// swallowed: one broken handler must not mute the rest of the page.
+func (l *Loop) Dispatch(typ string, before func(owner string)) int {
+	if l.in == nil {
+		return 0
+	}
+	// Snapshot: handlers registered by a callback fire on the next
+	// dispatch of this type, not this one (matches browser semantics
+	// for listeners added during dispatch of the same event).
+	snapshot := l.Handlers()
+	ran := 0
+	for _, h := range snapshot {
+		if h.removed || h.Type != typ {
+			continue
+		}
+		if before != nil {
+			before(h.Owner)
+		}
+		l.invoke(h.fn, h.Owner, l.eventValue(typ))
+		ran++
+	}
+	return ran
+}
+
+// RunTimers drains the timer queue in (delay, id) order until it is
+// empty or the drain budget is spent, and returns how many callbacks
+// ran. Timers scheduled by a running callback join the same drain.
+// Intervals fire up to maxIntervalTicks times, their virtual deadline
+// advancing by the period each tick.
+func (l *Loop) RunTimers(before func(owner string)) int {
+	if l.in == nil {
+		return 0
+	}
+	ran := 0
+	for ran < drainBudget {
+		t := l.takeNextTimer()
+		if t == nil {
+			break
+		}
+		if before != nil {
+			before(t.owner)
+		}
+		l.invoke(t.fn, t.owner, jsvm.Undefined())
+		ran++
+		if t.period > 0 {
+			t.ticks++
+			if t.ticks < maxIntervalTicks {
+				t.canceled = false
+				t.delay += t.period
+				l.timers = append(l.timers, t)
+			}
+		}
+	}
+	return ran
+}
+
+// takeNextTimer removes and returns the live timer with the smallest
+// (delay, id), or nil when the queue is empty.
+func (l *Loop) takeNextTimer() *timer {
+	best := -1
+	for i, t := range l.timers {
+		if t.canceled {
+			continue
+		}
+		if best < 0 || t.delay < l.timers[best].delay ||
+			(t.delay == l.timers[best].delay && t.id < l.timers[best].id) {
+			best = i
+		}
+	}
+	if best < 0 {
+		l.timers = l.timers[:0]
+		return nil
+	}
+	t := l.timers[best]
+	l.timers = append(l.timers[:best:best], l.timers[best+1:]...)
+	t.canceled = true // so ClearTimer on a fired one-shot is a no-op
+	return t
+}
+
+// RunIdle drains the idle-callback queue in id order and returns how
+// many callbacks ran. Idle callbacks queued by a running callback join
+// the same drain, budget permitting.
+func (l *Loop) RunIdle(before func(owner string)) int {
+	if l.in == nil {
+		return 0
+	}
+	ran := 0
+	for ran < drainBudget {
+		var next *idleCallback
+		for _, ic := range l.idles {
+			if !ic.canceled && (next == nil || ic.id < next.id) {
+				next = ic
+			}
+		}
+		if next == nil {
+			l.idles = l.idles[:0]
+			break
+		}
+		next.canceled = true
+		if before != nil {
+			before(next.owner)
+		}
+		// requestIdleCallback hands the callback an IdleDeadline.
+		deadline := jsvm.NewObject()
+		deadline.Object().Props["didTimeout"] = jsvm.Boolean(false)
+		deadline.Object().Props["timeRemaining"] = jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			return jsvm.Number(50), nil
+		})
+		l.invoke(next.fn, next.owner, deadline)
+		ran++
+	}
+	return ran
+}
+
+// eventValue builds the Event object handed to listeners.
+func (l *Loop) eventValue(typ string) jsvm.Value {
+	l.dispatches++
+	ev := jsvm.NewObject()
+	p := ev.Object().Props
+	p["type"] = jsvm.String(typ)
+	p["isTrusted"] = jsvm.Boolean(true)
+	// A deterministic stand-in for the DOMHighResTimeStamp.
+	p["timeStamp"] = jsvm.Number(float64(l.dispatches) * 16)
+	p["preventDefault"] = jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+		return jsvm.Undefined(), nil
+	})
+	p["stopPropagation"] = jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+		return jsvm.Undefined(), nil
+	})
+	return ev
+}
+
+func (l *Loop) invoke(fn jsvm.Value, owner string, arg jsvm.Value) {
+	prev := l.owner
+	l.owner = owner
+	defer func() { l.owner = prev }()
+	var args []jsvm.Value
+	if !arg.IsUndefined() {
+		args = []jsvm.Value{arg}
+	}
+	// Errors (including step-budget exhaustion) are deliberately
+	// dropped: the drain keeps going so one pathological callback
+	// cannot hide the others, and the failure point is identical in
+	// every run because the schedule is.
+	l.in.CallValue(fn, jsvm.Undefined(), args) //nolint:errcheck
+}
+
+// listenerNatives returns addEventListener/removeEventListener natives
+// bound to one target name; shared by every host type.
+func listenerNatives(l *Loop, target string, name string) (jsvm.Value, bool) {
+	switch name {
+	case "addEventListener":
+		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) >= 2 {
+				l.AddListener(target, args[0].Str(), args[1])
+			}
+			return jsvm.Undefined(), nil
+		}), true
+	case "removeEventListener":
+		return jsvm.NewNative(func(this jsvm.Value, args []jsvm.Value) (jsvm.Value, error) {
+			if len(args) >= 2 {
+				l.RemoveListener(target, args[0].Str(), args[1])
+			}
+			return jsvm.Undefined(), nil
+		}), true
+	}
+	return jsvm.Undefined(), false
+}

@@ -1,0 +1,64 @@
+package dom
+
+import (
+	"fmt"
+	"testing"
+
+	"canvassing/internal/jsvm"
+	"canvassing/internal/machine"
+)
+
+// benchLoop builds a document whose loop carries n click handlers and
+// n armed one-shot timers.
+func benchLoop(b *testing.B, n int) (*jsvm.Interp, *Document) {
+	b.Helper()
+	in := jsvm.New(jsvm.Options{RandSeed: 1})
+	doc := NewDocument(machine.Intel(), "bench.example")
+	doc.Install(in)
+	var src string
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("window.addEventListener('click', function() { var x%d = %d; });\n", i, i)
+		src += fmt.Sprintf("window.setTimeout(function() { var t%d = %d; }, %d);\n", i, i, 10*i)
+	}
+	if _, err := in.RunSource(src); err != nil {
+		b.Fatal(err)
+	}
+	return in, doc
+}
+
+func BenchmarkLoopDispatch(b *testing.B) {
+	_, doc := benchLoop(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := doc.Loop.Dispatch("click", nil); got != 32 {
+			b.Fatalf("dispatch ran %d handlers, want 32", got)
+		}
+	}
+}
+
+func BenchmarkLoopTimerDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		_, doc := benchLoop(b, 32)
+		b.StartTimer()
+		if got := doc.Loop.RunTimers(nil); got != 32 {
+			b.Fatalf("drain ran %d timers, want 32", got)
+		}
+	}
+}
+
+func BenchmarkLoopRegister(b *testing.B) {
+	in := jsvm.New(jsvm.Options{RandSeed: 1})
+	doc := NewDocument(machine.Intel(), "bench.example")
+	doc.Install(in)
+	if _, err := in.RunSource(`window.__h = function() { return 1; };`); err != nil {
+		b.Fatal(err)
+	}
+	src := `window.addEventListener('click', window.__h); window.removeEventListener('click', window.__h);`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.RunSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 // the per-script evidence trail that makes a detection pipeline
 // auditable (Iqbal et al.; Durey et al.).
 //
-// Six kinds of decision are recorded:
+// Seven kinds of decision are recorded:
 //
 //   - detect.classify: one per extracted canvas, naming the failing
 //     heuristic (or "fingerprintable");
@@ -21,7 +21,11 @@
 //     outcome per probed site;
 //   - visit.outcome: how a fault-injected page visit ended (ok,
 //     degraded, refused, timeout, circuit-open, unreachable) and under
-//     which fault plan — recorded only by fault-injected crawls.
+//     which fault plan — recorded only by fault-injected crawls;
+//   - interact.dispatch: one per user-behaviour action the interaction
+//     engine drove on a page (click/scroll/focus/idle), with the
+//     callback counts it triggered — recorded only by
+//     interaction-enabled crawls.
 //
 // The wire format (one JSON object per line, schema-versioned via the
 // "v" field) is pinned by a golden test; changing any field name or
@@ -71,6 +75,12 @@ const (
 	// verdict ("ok", "degraded", or a crawler.Fail* reason), the fault
 	// kind as evidence, and the attempt count as detail.
 	VisitOutcome Kind = "visit.outcome"
+	// InteractDispatch is one interaction-engine action on a page: the
+	// action kind as subject, the number of callbacks it ran as the
+	// verdict, the site's behaviour profile as evidence, and the live
+	// handler count as detail. Only interaction-enabled crawls record
+	// these.
+	InteractDispatch Kind = "interact.dispatch"
 )
 
 // Event is one recorded decision. Fields are flat strings (no maps) so

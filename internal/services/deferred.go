@@ -1,0 +1,219 @@
+// Deferred-fingerprinting vendors ("Beyond the Crawl", Annamalai & De
+// Cristofaro): services that do not fingerprint at load time but wait
+// for a user signal — a click, a scroll, or an idle period — before
+// rendering and extracting their test canvas. A load-time crawl
+// structurally misses them; the interaction engine exists to surface
+// them.
+//
+// They live in their own registry, not Registry(): the baseline web is
+// generated without them, so studies with the interaction engine off
+// produce byte-identical bundles to builds that predate this file.
+package services
+
+// Deferred is the ordered registry of interaction-gated vendors. The
+// web generator plants them only when interaction studies are enabled.
+func Deferred() []*Vendor {
+	return []*Vendor{
+		dataDome(),
+		moat(),
+		threatMetrix(),
+		forter(),
+	}
+}
+
+// DeferredBySlug returns the deferred vendor with the given slug, or
+// nil.
+func DeferredBySlug(slug string) *Vendor {
+	for _, v := range Deferred() {
+		if v.Slug == slug {
+			return v
+		}
+	}
+	return nil
+}
+
+// dataDome gates its canvas behind the first user gesture: the sensor
+// registers a click listener, fingerprints once on the first click,
+// and unregisters itself — the remove path real sensors use to avoid
+// double-billing events.
+func dataDome() *Vendor {
+	v := &Vendor{
+		Name:       "DataDome",
+		Slug:       "datadome",
+		Category:   CategorySecurity,
+		ScriptHost: "js.datadome.co",
+		ScriptPath: "/tags.js",
+		URLPattern: "datadome.co",
+		KnownCustomers: []string{
+			"ticket-resale.example", "sneaker-drop.example",
+		},
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.74,
+			ServeSubdomain:  0.16,
+			ServeFirstParty: 0.10,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("DataDome Bot Protection") + jsHashHelper + `
+function __ddRender() {
+	var c = document.createElement('canvas');
+	c.width = 260; c.height = 60;
+	var x = c.getContext('2d');
+	x.textBaseline = 'top';
+	x.font = '13px Arial';
+	x.fillStyle = '#1b2a4e';
+	x.fillRect(0, 0, 260, 24);
+	x.fillStyle = '#33ccff';
+	x.fillText('DataDome interstitial probe', 4, 5);
+	x.globalCompositeOperation = 'multiply';
+	x.fillStyle = 'rgb(255,128,0)';
+	x.beginPath(); x.arc(210, 30, 18, 0, Math.PI * 2, true); x.closePath(); x.fill();
+	return c.toDataURL();
+}
+// Fingerprint on the first real gesture only: bots that never click
+// never pay the probe, and crawlers that never click never see it.
+var __ddOnGesture = function() {
+	window.removeEventListener('click', __ddOnGesture);
+	window.__dd_signal = __fpHash(__ddRender());
+};
+window.addEventListener('click', __ddOnGesture);
+`
+	}
+	return v
+}
+
+// moat ties its canvas probe to attention measurement: nothing happens
+// until the page actually scrolls.
+func moat() *Vendor {
+	v := &Vendor{
+		Name:       "Moat Analytics",
+		Slug:       "moat",
+		Category:   CategoryMarketing,
+		ScriptHost: "z.moatads.com",
+		ScriptPath: "/viewability/moatad.js",
+		URLPattern: "moatads.com",
+		KnownCustomers: []string{
+			"news-portal.example",
+		},
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.86,
+			ServeCDN:        0.14,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Moat Analytics") + jsHashHelper + `
+function __moatRender() {
+	var c = document.createElement('canvas');
+	c.width = 220; c.height = 48;
+	var x = c.getContext('2d');
+	x.textBaseline = 'alphabetic';
+	x.font = '12pt Helvetica';
+	x.fillStyle = '#e8590c';
+	x.fillText('moat attention px', 3, 20);
+	x.fillStyle = 'rgba(34, 139, 230, 0.6)';
+	x.fillRect(60, 8, 80, 26);
+	return c.toDataURL();
+}
+var __moatSeen = false;
+window.addEventListener('scroll', function() {
+	if (__moatSeen) { return; }
+	__moatSeen = true;
+	window.__moat_vw = __fpHash(__moatRender());
+});
+`
+	}
+	return v
+}
+
+// threatMetrix defers its behavioural profiling to an idle callback:
+// the probe runs when the user pauses, which a crawl that snapshots at
+// settle and leaves never reaches.
+func threatMetrix() *Vendor {
+	v := &Vendor{
+		Name:       "LexisNexis ThreatMetrix",
+		Slug:       "threatmetrix",
+		Category:   CategorySecurity,
+		ScriptHost: "h.online-metrix.net",
+		ScriptPath: "/fp/tags.js",
+		URLPattern: "online-metrix.net",
+		KnownCustomers: []string{
+			"bank-login.example", "loan-origination.example",
+		},
+		InconsistencyCheck: true,
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.58,
+			ServeCNAME:      0.30,
+			ServeSubdomain:  0.12,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("ThreatMetrix") + jsHashHelper + `
+function __tmxRender() {
+	var c = document.createElement('canvas');
+	c.width = 300; c.height = 64;
+	var x = c.getContext('2d');
+	x.textBaseline = 'top';
+	x.font = '14px "Courier New"';
+	x.fillStyle = '#0b7285';
+	x.fillRect(110, 2, 70, 22);
+	x.fillStyle = '#fab005';
+	x.fillText('tmx profiling session', 2, 14);
+	x.globalCompositeOperation = 'screen';
+	x.fillStyle = 'rgb(120,0,200)';
+	x.beginPath(); x.arc(250, 36, 22, 0, Math.PI * 2, true); x.closePath(); x.fill();
+	return c.toDataURL();
+}
+window.requestIdleCallback(function() {
+	var __tmxSignal = 0;
+` + jsConsistencyCheck("__tmxRender", "__tmxSignal") + `
+	window.__tmx_profile = __tmxSignal;
+});
+`
+	}
+	return v
+}
+
+// forter defers by timer, not by user signal: the probe arms a
+// setTimeout at load. The settle-time timer drain catches it, so —
+// unlike the three vendors above — load-time crawls still see Forter.
+// It exists to separate "deferred" from "interaction-gated" in the
+// prevalence experiment.
+func forter() *Vendor {
+	v := &Vendor{
+		Name:       "Forter",
+		Slug:       "forter",
+		Category:   CategorySecurity,
+		ScriptHost: "cdn4.forter.com",
+		ScriptPath: "/ft.js",
+		URLPattern: "forter.com",
+		KnownCustomers: []string{
+			"flash-sale.example",
+		},
+		ServingWeights: map[ServingMode]float64{
+			ServeThirdParty: 0.70,
+			ServeFirstParty: 0.30,
+		},
+	}
+	v.Source = func(p ScriptParams) string {
+		return header("Forter Fraud Prevention") + jsHashHelper + `
+function __ftRender() {
+	var c = document.createElement('canvas');
+	c.width = 240; c.height = 50;
+	var x = c.getContext('2d');
+	x.textBaseline = 'top';
+	x.font = '12px Verdana';
+	x.fillStyle = '#2b8a3e';
+	x.fillText('forter decision beacon', 2, 6);
+	x.fillStyle = 'rgba(255, 0, 102, 0.5)';
+	x.fillRect(30, 18, 120, 24);
+	return c.toDataURL();
+}
+// Deferred off the critical path, but only by a tick: any crawler
+// that waits for the page to settle still observes it.
+window.setTimeout(function() {
+	window.__ftr_beacon = __fpHash(__ftRender());
+}, 250);
+`
+	}
+	return v
+}

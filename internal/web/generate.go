@@ -37,6 +37,7 @@ func Generate(cfg Config) *Web {
 	g.plantStressSite()
 	g.plantInnerPages()
 	g.plantBenign()
+	g.plantDeferred()
 	g.finalizeBundles()
 	g.buildDemos()
 	return g.web
@@ -623,6 +624,57 @@ func (g *generator) plantInnerPages() {
 				Longtail:   -1,
 				Inner:      true,
 			})
+		}
+	}
+}
+
+// --- deferred (interaction-gated) vendors -----------------------------------------
+
+// plantDeferred deploys the interaction-gated vendors from
+// services.Deferred() when Config.Interact is set. Sites without a
+// load-time fingerprinter are preferred, so the crawl-vs-interaction
+// experiment measures a clean prevalence delta: these are exactly the
+// sites a load-time-only crawl undercounts. The step is a no-op with
+// Interact off — the generated web, and therefore every downstream
+// bundle byte, is unchanged.
+func (g *generator) plantDeferred() {
+	if !g.cfg.Interact {
+		return
+	}
+	rng := g.rng.Fork("deferred")
+	for _, target := range deferredTargets {
+		v := services.DeferredBySlug(target.Slug)
+		for _, cohort := range []Cohort{Popular, Tail} {
+			count := g.cfg.scaled(target.Popular)
+			pool := g.popularOK
+			if cohort == Tail {
+				count = g.cfg.scaled(target.Tail)
+				pool = g.tailOK
+			}
+			var nonFP []*Site
+			for _, s := range pool {
+				if !g.fpSites[s.Domain] {
+					nonFP = append(nonFP, s)
+				}
+			}
+			if count > len(nonFP) {
+				count = len(nonFP)
+			}
+			if count == 0 {
+				continue
+			}
+			sites := stats.Sample(rng.Fork(v.Slug+cohort.String()), nonFP, count)
+			for i, site := range sites {
+				mode := pickMode(rng, v.ServingWeights)
+				if i == 0 && v.ScriptHost != "" {
+					// As with Table 1 vendors: one canonical third-party
+					// deployment per cohort anchors URL attribution.
+					mode = services.ServeThirdParty
+				}
+				g.deployVendor(site, v, mode, rng, TruthDeployment{
+					VendorSlug: v.Slug, Longtail: -1, Deferred: true,
+				})
+			}
 		}
 	}
 }

@@ -16,6 +16,12 @@ type Config struct {
 	Scale float64
 	// TrancoMax is the bottom of the ranking the tail is sampled from.
 	TrancoMax int
+	// Interact additionally plants the deferred-fingerprinting vendors
+	// (services.Deferred()): scripts that fingerprint only after a
+	// click, a scroll, or an idle period. Off (the default), the
+	// generated web is byte-identical to builds that predate the
+	// interaction engine.
+	Interact bool
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -128,6 +134,18 @@ var rebranderTargets = []rebranderTarget{
 // fpjsCommercial is the number of FingerprintJS deployments on the paid
 // tier (identifiable by fpnpmcdn.net URLs / extra surfaces).
 var fpjsCommercial = vendorTarget{"fingerprintjs", 23, 10}
+
+// deferredTargets are planted-site counts for the interaction-gated
+// vendors (Config.Interact only). "Beyond the Crawl" measures roughly
+// a 30% prevalence lift under interaction; these counts land our
+// synthetic web in that neighbourhood relative to the load-time
+// fingerprinting population.
+var deferredTargets = []vendorTarget{
+	{"datadome", 180, 80},
+	{"moat", 220, 110},
+	{"threatmetrix", 150, 60},
+	{"forter", 110, 55},
+}
 
 // longtailModeWeights gives serving-mode weights for longtail actors per
 // cohort. Less-popular sites overwhelmingly self-host homegrown

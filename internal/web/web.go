@@ -90,6 +90,7 @@ type TruthDeployment struct {
 	ScriptURL  string
 	Longtail   int  // longtail actor id (-1 for named vendors)
 	Inner      bool // deployed on the /login inner page only
+	Deferred   bool // interaction-gated vendor (services.Deferred)
 }
 
 // Web is the generated world.

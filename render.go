@@ -62,6 +62,10 @@ func (s *Study) RenderAll() string {
 	sb.WriteString(s.Table3().Render())
 	sb.WriteByte('\n')
 	sb.WriteString(s.RuleContext().Render())
+	if s.Options.Interact {
+		sb.WriteByte('\n')
+		sb.WriteString(s.InteractionGap().Render())
+	}
 	if s.Faults != nil {
 		sb.WriteByte('\n')
 		sb.WriteString(s.CrawlHealth().Render())

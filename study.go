@@ -89,18 +89,28 @@ type Options struct {
 	// trace_exemplars.jsonl sidecar next to the bundle, and the ops
 	// plane serves the live view at /tracez.
 	TraceVisits bool
+	// Interact enables the interaction-triggered fingerprinting
+	// workload ("Beyond the Crawl"): the generated web additionally
+	// carries interaction-gated vendor deployments, and the EX3
+	// crawl-vs-interaction experiment re-crawls it with the crawler's
+	// interaction engine driving seeded per-site behaviour profiles.
+	// The load-time cohort crawls themselves stay interaction-free, so
+	// the paper-faithful numbers keep their meaning; with Interact off
+	// the study is byte-identical to builds without the engine.
+	Interact bool
 }
 
 // Crawl condition labels used in the evidence event log. Bundle diffs
 // align events across runs by (condition, site), so the labels are part
 // of the bundle contract.
 const (
-	CondControl = "control"
-	CondABP     = "abp"
-	CondUBO     = "ubo"
-	CondM1      = "m1"
-	CondDemo    = "demo"
-	CondInner   = "inner"
+	CondControl  = "control"
+	CondABP      = "abp"
+	CondUBO      = "ubo"
+	CondM1       = "m1"
+	CondDemo     = "demo"
+	CondInner    = "inner"
+	CondInteract = "interact"
 )
 
 // Study holds all crawl and analysis artifacts.
@@ -148,6 +158,9 @@ type Study struct {
 	ckpt       *checkpoint.Writer
 	visits     *tracez.Reservoir // exemplar reservoir (nil unless TraceVisits)
 	randCache  map[int]RandomizationResult
+	// interactCache memoizes the EX3 interaction re-crawl (randCache
+	// pattern): the report and the repro CLI share one re-crawl.
+	interactCache *InteractionGapResult
 }
 
 // Checkpointer exposes the study's checkpoint writer (nil unless
@@ -174,7 +187,7 @@ func New(opts Options) *Study {
 	}
 	tel := obs.NewTelemetry()
 	sp := tel.Tracer.Start("webgen")
-	w := web.Generate(web.Config{Seed: opts.Seed, Scale: opts.Scale, TrancoMax: 1_000_000})
+	w := web.Generate(web.Config{Seed: opts.Seed, Scale: opts.Scale, TrancoMax: 1_000_000, Interact: opts.Interact})
 	sp.End()
 	s := &Study{
 		Options: opts,
